@@ -1,0 +1,69 @@
+// Ablations beyond the paper's figures, probing the design choices DESIGN.md calls
+// out (all on the lossy Section 4.1 mesh):
+//
+//  * trim threshold — the paper chose 1.5 sigma ("1 would lead to too many nodes
+//    being closed whereas 2 would only permit a very few peers to ever be closed");
+//    we sweep {off, 1.0, 1.5, 2.0}.
+//  * availability piggybacking — Section 3.3.4's self-clocking diffs ride on data
+//    blocks; piggyback budget 0 forces all availability onto explicit diff messages.
+//  * source push order — round-robin (every block enters the overlay once before
+//    any repeat) vs random child selection.
+
+#include "bench/bench_util.h"
+
+namespace bullet {
+namespace {
+
+ScenarioConfig MeshConfig(uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+void BM_TrimSigma(benchmark::State& state) {
+  const int tenths = static_cast<int>(state.range(0));  // 0 = trimming off
+  BulletPrimeConfig bp;
+  std::string name;
+  if (tenths == 0) {
+    bp.trim_stddevs = 1e9;  // never trims
+    name = "trim off";
+  } else {
+    bp.trim_stddevs = tenths / 10.0;
+    name = "trim " + std::to_string(tenths / 10.0).substr(0, 3) + " sigma";
+  }
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(System::kBulletPrime, MeshConfig(2001), bp);
+    bench::ReportCompletion(state, name, r);
+  }
+}
+BENCHMARK(BM_TrimSigma)->Arg(15)->Arg(10)->Arg(20)->Arg(0)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Piggyback(benchmark::State& state) {
+  const int limit = static_cast<int>(state.range(0));
+  BulletPrimeConfig bp;
+  bp.piggyback_limit = limit;
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(System::kBulletPrime, MeshConfig(2002), bp);
+    bench::ReportCompletion(state, "piggyback " + std::to_string(limit), r);
+  }
+}
+BENCHMARK(BM_Piggyback)->Arg(32)->Arg(8)->Arg(0)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_SourcePush(benchmark::State& state) {
+  const bool random = state.range(0) != 0;
+  BulletPrimeConfig bp;
+  bp.source_random_push = random;
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(System::kBulletPrime, MeshConfig(2003), bp);
+    bench::ReportCompletion(state, random ? "source random push" : "source round-robin push", r);
+  }
+}
+BENCHMARK(BM_SourcePush)->Arg(0)->Arg(1)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Ablations — trim threshold, piggybacking, source push order")

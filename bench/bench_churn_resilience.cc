@@ -1,0 +1,85 @@
+// Extension bench (no paper figure): mesh resilience under node failures — the
+// Section 1 argument that losing one of n peers costs ~1/n of a node's bandwidth.
+// Sweeps the number of failed leaves on the Fig. 4 topology and reports survivor
+// completion times; the dual sweep runs legacy Bullet, whose receivers depend partly
+// on tree forwarding, for contrast.
+
+#include "bench/bench_util.h"
+
+#include "src/baselines/bullet_legacy.h"
+#include "src/core/bullet_prime.h"
+#include "src/harness/churn.h"
+#include "src/harness/experiment.h"
+
+namespace bullet {
+namespace {
+
+std::vector<double> RunChurn(System system, int kills, uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.seed = seed;
+
+  ExperimentParams params;
+  params.seed = cfg.seed;
+  params.file.block_bytes = cfg.block_bytes;
+  params.file.num_blocks =
+      static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.block_bytes));
+  params.file.encoded = system == System::kBulletLegacy;
+  params.deadline = SecToSim(7200.0);
+  Experiment exp(BuildScenarioTopology(cfg), params);
+
+  std::vector<char> is_victim(static_cast<size_t>(cfg.num_nodes), 0);
+  if (kills > 0) {
+    Rng churn_rng(seed ^ 0xc0ffee);
+    const ChurnPlan plan = PlanLeafFailures(exp.tree(), params.source, kills, churn_rng);
+    for (const NodeId v : plan.victims) {
+      is_victim[static_cast<size_t>(v)] = 1;
+    }
+    ScheduleChurn(exp.net(), plan);
+  }
+  BulletPrimeConfig bp;
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree)
+                                   -> std::unique_ptr<Protocol> {
+    if (system == System::kBulletLegacy) {
+      return std::make_unique<BulletLegacy>(ctx, params.file, params.source, tree,
+                                            BulletLegacyConfig{});
+    }
+    return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, bp);
+  });
+
+  std::vector<double> survivor_times;
+  for (NodeId n = 1; n < cfg.num_nodes; ++n) {
+    if (is_victim[static_cast<size_t>(n)]) {
+      continue;
+    }
+    survivor_times.push_back(metrics.node(n).completion >= 0
+                                 ? SimToSec(metrics.node(n).completion)
+                                 : SimToSec(params.deadline));
+  }
+  return survivor_times;
+}
+
+void BM_Churn(benchmark::State& state) {
+  const System system = static_cast<System>(state.range(0));
+  const int kills = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const auto times = RunChurn(system, kills, 3001);
+    bench::ReportSamples(state, std::string(SystemName(system)) + " survivors, " +
+                                    std::to_string(kills) + " failures",
+                         times);
+  }
+}
+BENCHMARK(BM_Churn)
+    ->Args({static_cast<int>(System::kBulletPrime), 0})
+    ->Args({static_cast<int>(System::kBulletPrime), 10})
+    ->Args({static_cast<int>(System::kBulletPrime), 25})
+    ->Args({static_cast<int>(System::kBulletLegacy), 0})
+    ->Args({static_cast<int>(System::kBulletLegacy), 25})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Extension — survivor completion under leaf-node failures")

@@ -1,0 +1,55 @@
+// Fig. 4: CDF of 100 MB download times across 100 nodes on the Section 4.1 topology
+// (6 Mbps access, 2 Mbps core, 0-3% random core loss), static conditions, for
+// Bullet', Bullet, BitTorrent and SplitStream, plus the two analytic reference lines
+// (access-link optimal and MACEDON-on-TCP feasible).
+//
+// Expected shape (paper): optimal < TCP-feasible < Bullet' < Bullet ~ BitTorrent <
+// SplitStream; Bullet' leads by ~25% and its slowest node by ~37%.
+
+#include "bench/bench_util.h"
+
+namespace bullet {
+namespace {
+
+ScenarioConfig Fig4Config() {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.seed = 401;
+  return cfg;
+}
+
+void BM_System(benchmark::State& state) {
+  const System system = static_cast<System>(state.range(0));
+  const ScenarioConfig cfg = Fig4Config();
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(system, cfg);
+    bench::ReportCompletion(state, r.name, r);
+  }
+}
+BENCHMARK(BM_System)
+    ->Arg(static_cast<int>(System::kBulletPrime))
+    ->Arg(static_cast<int>(System::kBulletLegacy))
+    ->Arg(static_cast<int>(System::kBitTorrent))
+    ->Arg(static_cast<int>(System::kSplitStream))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceLines(benchmark::State& state) {
+  const ScenarioConfig cfg = Fig4Config();
+  for (auto _ : state) {
+    const double optimal = OptimalAccessLinkSeconds(cfg.file_mb, 6e6);
+    // Startup: tree join + first RanSub epochs before the mesh fills pipes.
+    const double feasible = TcpFeasibleSeconds(cfg.file_mb, 6e6, /*startup_sec=*/12.0);
+    state.counters["optimal_s"] = optimal;
+    state.counters["tcp_feasible_s"] = feasible;
+    bench::CollectedSeries().push_back(CdfSeries{"PhysicalLinkOptimal", {optimal}});
+    bench::CollectedSeries().push_back(CdfSeries{"MacedonTcpFeasible", {feasible}});
+  }
+}
+BENCHMARK(BM_ReferenceLines)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Fig. 4 — overall performance, static conditions")

@@ -1,0 +1,36 @@
+// Fig. 5: the Fig. 4 comparison under the paper's synthetic bandwidth changes
+// (every 20 s, half the nodes see the core links from half the other nodes halved,
+// cumulatively) on top of random core losses.
+//
+// Expected shape (paper): Bullet' degrades least; it finishes 32-70% faster than
+// Bullet/BitTorrent/SplitStream, whose tails stretch toward ~1000 s.
+
+#include "bench/bench_util.h"
+
+namespace bullet {
+namespace {
+
+void BM_System(benchmark::State& state) {
+  const System system = static_cast<System>(state.range(0));
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.dynamic_bw = true;
+  cfg.seed = 501;
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(system, cfg);
+    bench::ReportCompletion(state, r.name, r);
+  }
+}
+BENCHMARK(BM_System)
+    ->Arg(static_cast<int>(System::kBulletPrime))
+    ->Arg(static_cast<int>(System::kBulletLegacy))
+    ->Arg(static_cast<int>(System::kBitTorrent))
+    ->Arg(static_cast<int>(System::kSplitStream))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Fig. 5 — overall performance, dynamic bandwidth changes")

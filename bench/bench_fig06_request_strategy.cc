@@ -1,0 +1,52 @@
+// Fig. 6: impact of the request strategy (first-encountered vs random vs
+// rarest-random; plain rarest included as the fourth design point of Section 3.3.2)
+// on Bullet' download times under random network losses.
+//
+// Expected shape (paper): first-encountered worst; rarest-random best for ~70% of
+// receivers; plain random catches up in the tail because rarest decisions go stale
+// on lossy links.
+
+#include "bench/bench_util.h"
+
+namespace bullet {
+namespace {
+
+const char* StrategyName(RequestStrategy s) {
+  switch (s) {
+    case RequestStrategy::kFirstEncountered:
+      return "first-encountered";
+    case RequestStrategy::kRandom:
+      return "random";
+    case RequestStrategy::kRarest:
+      return "rarest";
+    case RequestStrategy::kRarestRandom:
+      return "rarest-random";
+  }
+  return "?";
+}
+
+void BM_Strategy(benchmark::State& state) {
+  const RequestStrategy strategy = static_cast<RequestStrategy>(state.range(0));
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.seed = 601;
+  BulletPrimeConfig bp;
+  bp.request_strategy = strategy;
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
+    bench::ReportCompletion(state, std::string("BulletPrime ") + StrategyName(strategy), r);
+  }
+}
+BENCHMARK(BM_Strategy)
+    ->Arg(static_cast<int>(RequestStrategy::kRarestRandom))
+    ->Arg(static_cast<int>(RequestStrategy::kRandom))
+    ->Arg(static_cast<int>(RequestStrategy::kRarest))
+    ->Arg(static_cast<int>(RequestStrategy::kFirstEncountered))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Fig. 6 — request strategy under random losses")

@@ -1,0 +1,39 @@
+// Fig. 7: static peer-set sizes (6, 10, 14 senders and receivers) versus Bullet''s
+// dynamic sizing, on the lossy Section 4.1 topology.
+//
+// Expected shape (paper): 14 > 10 > 6 (more TCP flows are more resilient to loss);
+// the dynamic strategy starts at 10 and tracks the 14-peer configuration for about
+// half the receivers.
+
+#include "bench/bench_util.h"
+
+namespace bullet {
+namespace {
+
+void BM_PeerSet(benchmark::State& state) {
+  const int peers = static_cast<int>(state.range(0));  // 0 = dynamic
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.seed = 701;
+  BulletPrimeConfig bp;
+  std::string name;
+  if (peers == 0) {
+    name = "BulletPrime dynamic peer sets";
+  } else {
+    bp.dynamic_peer_sets = false;
+    bp.initial_senders = peers;
+    bp.initial_receivers = peers;
+    name = "BulletPrime " + std::to_string(peers) + " senders/receivers";
+  }
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
+    bench::ReportCompletion(state, name, r);
+  }
+}
+BENCHMARK(BM_PeerSet)->Arg(14)->Arg(0)->Arg(10)->Arg(6)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Fig. 7 — peer-set size under random losses")

@@ -1,0 +1,94 @@
+// Fig. 12: cascading bandwidth changes. 8 participants: the source and 6 receivers
+// reconcile over 10 Mbps / 1 ms links; the 8th node downloads from the 6 peers over
+// dedicated 5 Mbps / 100 ms links; every 25 s another of those links collapses to
+// 100 Kbps, cumulatively, until all are slow. 8 KB blocks, peer management disabled.
+//
+// Expected shape (paper): too many outstanding blocks (15/50) strand requests on
+// collapsed links and delay the 8th node; the dynamic controller beats every fixed
+// choice by 7-22% on the slowest node (3 and 6 outstanding are far slower still).
+
+#include "bench/bench_util.h"
+
+#include "src/core/bullet_prime.h"
+#include "src/harness/experiment.h"
+#include "src/sim/dynamics.h"
+
+namespace bullet {
+namespace {
+
+constexpr int kNodes = 8;
+constexpr NodeId kSlowNode = 7;
+
+Topology Fig12Topology() {
+  Topology topo(kNodes);
+  for (NodeId n = 0; n < kNodes; ++n) {
+    topo.uplink(n) = LinkParams{100e6, MsToSim(0), 0.0};
+    topo.downlink(n) = LinkParams{100e6, MsToSim(0), 0.0};
+  }
+  for (NodeId s = 0; s < kNodes; ++s) {
+    for (NodeId d = 0; d < kNodes; ++d) {
+      if (s == d) {
+        continue;
+      }
+      if (s == kSlowNode || d == kSlowNode) {
+        topo.core(s, d) = LinkParams{5e6, MsToSim(100), 0.0};
+      } else {
+        topo.core(s, d) = LinkParams{10e6, MsToSim(1), 0.0};
+      }
+    }
+  }
+  return topo;
+}
+
+void BM_Outstanding(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));  // 0 = dynamic
+  ExperimentParams params;
+  params.seed = 1201;
+  params.file.block_bytes = 8 * 1024;
+  params.file.num_blocks = static_cast<uint32_t>(bench::ScaledFileMb(100.0) * 1024.0 * 1024.0 /
+                                                 static_cast<double>(params.file.block_bytes));
+  params.deadline = SecToSim(7200.0);
+
+  BulletPrimeConfig bp;
+  bp.dynamic_peer_sets = false;  // the paper disables peer management here
+  bp.initial_senders = 6;
+  bp.initial_receivers = 7;
+  std::string name;
+  if (window == 0) {
+    name = "BulletPrime dyn outstanding";
+  } else {
+    bp.dynamic_outstanding = false;
+    bp.fixed_outstanding = window;
+    name = "BulletPrime " + std::to_string(window) + " outstanding";
+  }
+
+  for (auto _ : state) {
+    Experiment exp(Fig12Topology(), params);
+    // Every 25 s another peer's dedicated link toward the 8th node collapses.
+    StartCascade(exp.net(), kSlowNode, {1, 2, 3, 4, 5, 6}, SecToSim(25.0), 100e3);
+    RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+      return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, bp);
+    });
+    const auto all = metrics.CompletionSeconds(params.source, SimToSec(params.deadline));
+    state.counters["slow_node_s"] = metrics.node(kSlowNode).completion >= 0
+                                        ? SimToSec(metrics.node(kSlowNode).completion)
+                                        : SimToSec(params.deadline);
+    state.counters["p50_s"] = Percentile(all, 0.5);
+    state.counters["max_s"] = Percentile(all, 1.0);
+    bench::CollectedSeries().push_back(CdfSeries{name, all});
+  }
+}
+BENCHMARK(BM_Outstanding)
+    ->Arg(0)
+    ->Arg(9)
+    ->Arg(15)
+    ->Arg(50)
+    ->Arg(6)
+    ->Arg(3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Fig. 12 — cascading bandwidth collapses toward one node")

@@ -1,0 +1,39 @@
+// Fig. 14: the wide-area (PlanetLab) comparison — 41 heterogeneous sites, 50 MB
+// file, 100 KB blocks, Bullet' vs Bullet vs BitTorrent vs SplitStream.
+//
+// The PlanetLab testbed is replaced by the synthetic wide-area topology described in
+// DESIGN.md (heterogeneous 1-20 Mbps uplinks, 10-400 ms RTTs, light random loss).
+//
+// Expected shape (paper): Bullet' consistently fastest; its slowest node finishes
+// several hundred seconds before BitTorrent's slowest.
+
+#include "bench/bench_util.h"
+
+namespace bullet {
+namespace {
+
+void BM_System(benchmark::State& state) {
+  const System system = static_cast<System>(state.range(0));
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kWideArea;
+  cfg.num_nodes = 41;
+  cfg.file_mb = bench::ScaledFileMb(50.0);
+  cfg.block_bytes = 100 * 1024;  // the deployment's block size (Section 4.7)
+  cfg.seed = 1401;
+  for (auto _ : state) {
+    const ScenarioResult r = RunScenario(system, cfg);
+    bench::ReportCompletion(state, r.name + " (wide-area)", r);
+  }
+}
+BENCHMARK(BM_System)
+    ->Arg(static_cast<int>(System::kBulletPrime))
+    ->Arg(static_cast<int>(System::kBulletLegacy))
+    ->Arg(static_cast<int>(System::kBitTorrent))
+    ->Arg(static_cast<int>(System::kSplitStream))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullet
+
+BULLET_BENCH_MAIN("Fig. 14 — wide-area (PlanetLab stand-in) comparison")

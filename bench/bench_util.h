@@ -1,0 +1,76 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Each figure bench registers one google-benchmark entry per system/configuration
+// (one iteration each: these are deterministic emulation runs, not microbenchmarks),
+// reports the distribution via counters, and queues the full CDF series, which the
+// custom main prints after the benchmark table — the same rows the paper plots.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/cdf.h"
+#include "src/common/options.h"
+#include "src/common/stats.h"
+#include "src/harness/scenarios.h"
+
+namespace bullet {
+namespace bench {
+
+inline std::vector<CdfSeries>& CollectedSeries() {
+  static std::vector<CdfSeries> series;
+  return series;
+}
+
+// Standard reporting: counters on the benchmark row + CDF collection.
+inline void ReportCompletion(benchmark::State& state, const std::string& name,
+                             const ScenarioResult& r) {
+  state.counters["p05_s"] = Percentile(r.completion_sec, 0.05);
+  state.counters["p50_s"] = Percentile(r.completion_sec, 0.50);
+  state.counters["p90_s"] = Percentile(r.completion_sec, 0.90);
+  state.counters["max_s"] = Percentile(r.completion_sec, 1.0);
+  state.counters["dup_pct"] = r.duplicate_fraction * 100.0;
+  state.counters["ctrl_pct"] = r.control_overhead * 100.0;
+  state.counters["done"] = r.completed;
+  CollectedSeries().push_back(CdfSeries{name, r.completion_sec});
+}
+
+inline void ReportSamples(benchmark::State& state, const std::string& name,
+                          const std::vector<double>& samples) {
+  state.counters["p50_s"] = Percentile(samples, 0.50);
+  state.counters["p90_s"] = Percentile(samples, 0.90);
+  state.counters["max_s"] = Percentile(samples, 1.0);
+  CollectedSeries().push_back(CdfSeries{name, samples});
+}
+
+// Paper file size scaled by REPRO_SCALE (ci: 10%, full: 100%).
+inline double ScaledFileMb(double paper_mb) { return paper_mb * GetReproScale().file_scale; }
+
+inline void PrintCollected(const char* title) {
+  std::cout << "\n### " << title << " — completion-time distributions\n";
+  PrintSummaryTable(std::cout, CollectedSeries());
+  std::cout << "\n### CDF series (fraction, seconds)\n";
+  PrintCdf(std::cout, CollectedSeries(), 20);
+}
+
+}  // namespace bench
+}  // namespace bullet
+
+#define BULLET_BENCH_MAIN(title)                                    \
+  int main(int argc, char** argv) {                                 \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    ::bullet::bench::PrintCollected(title);                         \
+    return 0;                                                       \
+  }
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,150 @@
+#include "src/baselines/splitstream.h"
+
+namespace bullet {
+
+SplitStream::SplitStream(const Context& ctx, const FileParams& file, NodeId source,
+                         const StripeForest* forest, const SplitStreamConfig& config)
+    : DisseminationProtocol(ctx, file, source),
+      config_(config),
+      forest_(forest),
+      stripe_children_(static_cast<size_t>(config.num_stripes)) {}
+
+void SplitStream::Start() {
+  // Group our stripe parents: one connection per distinct parent node, announcing
+  // every stripe it feeds us on.
+  std::map<NodeId, std::vector<int>> by_parent;
+  for (int stripe = 0; stripe < config_.num_stripes; ++stripe) {
+    const NodeId p = forest_->trees[static_cast<size_t>(stripe)].parent[static_cast<size_t>(self())];
+    if (p >= 0) {
+      by_parent[p].push_back(stripe);
+    }
+  }
+  for (const auto& [parent, stripes] : by_parent) {
+    const ConnId conn = net().Connect(self(), parent);
+    if (conn >= 0) {
+      parent_conns_[parent] = conn;
+    }
+  }
+  if (is_source()) {
+    queue().ScheduleAfter(SecToSim(1.0), [this] { SourcePushTick(); });
+  }
+}
+
+void SplitStream::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
+  if (!initiator) {
+    return;
+  }
+  auto it = parent_conns_.find(peer);
+  if (it == parent_conns_.end() || it->second != conn) {
+    return;
+  }
+  auto hello = std::make_unique<ss::StripeHelloMsg>();
+  for (int stripe = 0; stripe < config_.num_stripes; ++stripe) {
+    if (forest_->trees[static_cast<size_t>(stripe)].parent[static_cast<size_t>(self())] == peer) {
+      hello->stripes.push_back(stripe);
+    }
+  }
+  hello->Finalize();
+  AccountControlOut(hello->wire_bytes);
+  net().Send(conn, self(), std::move(hello));
+}
+
+void SplitStream::OnConnDown(ConnId conn, NodeId peer) {
+  parent_conns_.erase(peer);
+  pending_.erase(conn);
+  for (auto& kids : stripe_children_) {
+    for (size_t i = 0; i < kids.size();) {
+      if (kids[i] == conn) {
+        kids[i] = kids.back();
+        kids.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+void SplitStream::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) {
+  switch (msg->type) {
+    case ss::StripeHelloMsg::kType: {
+      AccountControlIn(msg->wire_bytes);
+      for (const int stripe : static_cast<ss::StripeHelloMsg&>(*msg).stripes) {
+        if (stripe >= 0 && stripe < config_.num_stripes) {
+          stripe_children_[static_cast<size_t>(stripe)].push_back(conn);
+        }
+      }
+      return;
+    }
+    case ss::StripeBlockMsg::kType: {
+      const auto& block = static_cast<ss::StripeBlockMsg&>(*msg);
+      AcceptBlock(block.block_id, block.wire_bytes);
+      Forward(static_cast<int>(block.block_id) % config_.num_stripes, block.block_id);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SplitStream::SourcePushTick() {
+  const uint32_t total = file_.encoded ? file_.BlockSpace() : file_.num_blocks;
+  while (next_push_block_ < total) {
+    const int stripe = static_cast<int>(next_push_block_) % config_.num_stripes;
+    // Pace generation: only mint the next block when at least one child of this
+    // stripe has a fully drained pipe; otherwise retry shortly. Slow children build
+    // a backpressured pending queue instead of missing blocks.
+    bool any_room = false;
+    for (const ConnId conn : stripe_children_[static_cast<size_t>(stripe)]) {
+      const auto pit = pending_.find(conn);
+      const bool backlog = pit != pending_.end() && !pit->second.empty();
+      if (!backlog && net().QueuedBytes(conn, self()) <
+                          config_.forward_queue_blocks * file_.block_bytes) {
+        any_room = true;
+        break;
+      }
+    }
+    if (!any_room) {
+      break;
+    }
+    if (file_.encoded) {
+      have_.Set(next_push_block_);
+      sketch_.AddBlock(next_push_block_);
+    }
+    Forward(stripe, next_push_block_);
+    ++next_push_block_;
+  }
+  if (next_push_block_ < total && !net().queue().stopped()) {
+    queue().ScheduleAfter(config_.source_push_retry, [this] { SourcePushTick(); });
+  }
+}
+
+void SplitStream::Forward(int stripe, uint32_t id) {
+  for (const ConnId conn : stripe_children_[static_cast<size_t>(stripe)]) {
+    pending_[conn].push_back(id);
+  }
+  DrainPending();
+}
+
+void SplitStream::DrainPending() {
+  bool backlog = false;
+  for (auto& [conn, q] : pending_) {
+    while (!q.empty() &&
+           net().QueuedBytes(conn, self()) < config_.forward_queue_blocks * file_.block_bytes) {
+      auto msg = std::make_unique<ss::StripeBlockMsg>();
+      msg->block_id = q.front();
+      q.pop_front();
+      msg->Finalize(file_.block_bytes);
+      net().Send(conn, self(), std::move(msg));
+    }
+    backlog |= !q.empty();
+  }
+  if (backlog && !drain_scheduled_ && !net().queue().stopped()) {
+    drain_scheduled_ = true;
+    queue().ScheduleAfter(config_.drain_retry, [this] {
+      drain_scheduled_ = false;
+      DrainPending();
+    });
+  }
+}
+
+}  // namespace bullet

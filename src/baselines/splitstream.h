@@ -1,0 +1,86 @@
+// SplitStream baseline (Castro et al., SOSP'03), as the paper's "MACEDON SplitStream
+// MS" comparison point: the content is split into k stripes, stripe i carrying blocks
+// with id mod k == i, and each stripe is pushed down its own interior-node-disjoint
+// tree. There is no pull path; resilience comes from the source-encoded stream —
+// receivers complete once they hold (1 + eps) * n distinct blocks regardless of
+// which stripes delivered them. A slow interior link starves only that stripe's
+// subtree, which is exactly the monotonic-bandwidth-decrease tail the paper's CDFs
+// show for tree-based systems.
+
+#ifndef SRC_BASELINES_SPLITSTREAM_H_
+#define SRC_BASELINES_SPLITSTREAM_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "src/baselines/stripe_forest.h"
+#include "src/overlay/dissemination.h"
+
+namespace bullet {
+
+struct SplitStreamConfig {
+  int num_stripes = 8;
+  // Per-child connection-queue cap. Blocks beyond it wait in an application-level
+  // pending queue (TCP backpressure): a slow link slows its whole subtree — the
+  // monotonic bandwidth decrease inherent to tree delivery — but loses nothing.
+  int forward_queue_blocks = 4;
+  SimTime drain_retry = MsToSim(20);
+  SimTime source_push_retry = MsToSim(20);
+};
+
+namespace ss {
+
+struct StripeHelloMsg : Message {
+  static constexpr int kType = 401;
+  std::vector<int> stripes;  // stripes for which the sender is our child
+  void Finalize() {
+    type = kType;
+    wire_bytes = 12 + static_cast<int64_t>(stripes.size());
+  }
+};
+
+struct StripeBlockMsg : Message {
+  static constexpr int kType = 402;
+  uint32_t block_id = 0;
+  void Finalize(int64_t block_bytes) {
+    type = kType;
+    wire_bytes = block_bytes + 16;
+  }
+};
+
+}  // namespace ss
+
+class SplitStream : public DisseminationProtocol {
+ public:
+  // `forest` must be shared by all nodes of the run (built from the same seed).
+  SplitStream(const Context& ctx, const FileParams& file, NodeId source,
+              const StripeForest* forest, const SplitStreamConfig& config);
+
+  void Start() override;
+  void OnConnUp(ConnId conn, NodeId peer, bool initiator) override;
+  void OnConnDown(ConnId conn, NodeId peer) override;
+  void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) override;
+
+ private:
+  void SourcePushTick();
+  void Forward(int stripe, uint32_t id);
+  void DrainPending();
+
+  SplitStreamConfig config_;
+  const StripeForest* forest_;
+
+  // Child connections per stripe (filled from StripeHello messages).
+  std::vector<std::vector<ConnId>> stripe_children_;
+  // Our parent connections: conn -> stripes it serves (diagnostics only).
+  std::map<NodeId, ConnId> parent_conns_;
+  // Backpressured per-child forwarding queues (block ids awaiting connection space).
+  std::map<ConnId, std::deque<uint32_t>> pending_;
+  bool drain_scheduled_ = false;
+
+  uint32_t next_push_block_ = 0;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_BASELINES_SPLITSTREAM_H_

@@ -1,0 +1,55 @@
+#include "src/codec/degree_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bullet {
+
+RobustSoliton::RobustSoliton(uint32_t num_blocks, double c, double delta) {
+  const double n = static_cast<double>(num_blocks);
+  // Ideal soliton: rho(1) = 1/n, rho(d) = 1/(d(d-1)).
+  std::vector<double> mass(num_blocks + 1, 0.0);
+  mass[1] = 1.0 / n;
+  for (uint32_t d = 2; d <= num_blocks; ++d) {
+    mass[d] = 1.0 / (static_cast<double>(d) * (d - 1.0));
+  }
+  // Robust correction tau: extra mass below the spike at n/R, a spike at n/R.
+  const double r = c * std::log(n / delta) * std::sqrt(n);
+  const uint32_t spike = std::max<uint32_t>(
+      1, std::min<uint32_t>(num_blocks, static_cast<uint32_t>(std::round(n / std::max(r, 1.0)))));
+  for (uint32_t d = 1; d < spike; ++d) {
+    mass[d] += r / (static_cast<double>(d) * n);
+  }
+  mass[spike] += r * std::log(std::max(r / delta, 1.0 + 1e-9)) / n;
+
+  double total = 0.0;
+  for (uint32_t d = 1; d <= num_blocks; ++d) {
+    total += mass[d];
+  }
+  cdf_.resize(num_blocks);
+  double acc = 0.0;
+  for (uint32_t d = 1; d <= num_blocks; ++d) {
+    acc += mass[d] / total;
+    cdf_[d - 1] = acc;
+    expected_degree_ += static_cast<double>(d) * mass[d] / total;
+  }
+  cdf_.back() = 1.0;
+}
+
+uint32_t RobustSoliton::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint32_t>(std::distance(cdf_.begin(), it)) + 1;
+}
+
+double RobustSoliton::pmf(uint32_t degree) const {
+  if (degree == 0 || degree > cdf_.size()) {
+    return 0.0;
+  }
+  if (degree == 1) {
+    return cdf_[0];
+  }
+  return cdf_[degree - 1] - cdf_[degree - 2];
+}
+
+}  // namespace bullet

@@ -1,0 +1,40 @@
+// Robust soliton degree distribution for LT/rateless codes (Luby, FOCS'02; the paper
+// cites Maymounkov's rateless codes [17], which share the same peeling-decoder
+// structure). The distribution governs how many source blocks are XOR-ed into each
+// encoded block; the "robust" correction concentrates mass near degree k/R so the
+// decoder's ripple stays alive, and adds mass at degree 1 so decoding can start —
+// the paper's Section 2.2 discusses exactly this sensitivity to recovered degree-1
+// blocks.
+
+#ifndef SRC_CODEC_DEGREE_DISTRIBUTION_H_
+#define SRC_CODEC_DEGREE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace bullet {
+
+class RobustSoliton {
+ public:
+  // `num_blocks` is the number of source blocks n; `c` and `delta` are the usual
+  // robust-soliton parameters (c ~ 0.03-0.1, delta = decoder failure bound).
+  RobustSoliton(uint32_t num_blocks, double c = 0.05, double delta = 0.05);
+
+  // Samples a degree in [1, num_blocks].
+  uint32_t Sample(Rng& rng) const;
+
+  // Probability mass at a given degree (for tests).
+  double pmf(uint32_t degree) const;
+
+  double expected_degree() const { return expected_degree_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[d-1] = P(degree <= d)
+  double expected_degree_ = 0.0;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_CODEC_DEGREE_DISTRIBUTION_H_

@@ -1,0 +1,52 @@
+#include "src/common/cdf.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "src/common/stats.h"
+
+namespace bullet {
+
+void PrintCdf(std::ostream& os, const std::vector<CdfSeries>& series, int points) {
+  for (const auto& s : series) {
+    os << "# " << s.name << "\n";
+    if (s.samples.empty()) {
+      os << "# (no samples)\n";
+      continue;
+    }
+    std::vector<double> sorted = s.samples;
+    std::sort(sorted.begin(), sorted.end());
+    char buf[64];
+    for (int i = 0; i <= points; ++i) {
+      const double frac = static_cast<double>(i) / points;
+      size_t idx = 0;
+      if (i > 0) {
+        idx = std::min(sorted.size() - 1,
+                       static_cast<size_t>(frac * static_cast<double>(sorted.size())) -
+                           (i == points ? 0 : 1));
+        idx = std::min(idx, sorted.size() - 1);
+      }
+      std::snprintf(buf, sizeof(buf), "%.3f %.2f", frac, sorted[idx]);
+      os << buf << "\n";
+    }
+  }
+}
+
+void PrintSummaryTable(std::ostream& os, const std::vector<CdfSeries>& series) {
+  os << "# series                              p05      p50      p90      max     mean\n";
+  char buf[160];
+  for (const auto& s : series) {
+    double mean = 0.0;
+    if (!s.samples.empty()) {
+      mean = std::accumulate(s.samples.begin(), s.samples.end(), 0.0) /
+             static_cast<double>(s.samples.size());
+    }
+    std::snprintf(buf, sizeof(buf), "%-34s %8.2f %8.2f %8.2f %8.2f %8.2f", s.name.c_str(),
+                  Percentile(s.samples, 0.05), Percentile(s.samples, 0.50),
+                  Percentile(s.samples, 0.90), Percentile(s.samples, 1.0), mean);
+    os << buf << "\n";
+  }
+}
+
+}  // namespace bullet

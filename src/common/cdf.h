@@ -1,0 +1,32 @@
+// CDF and table emission for the experiment harness. Every figure in the paper is a
+// CDF of per-node completion times (or a series); benches print the same rows.
+
+#ifndef SRC_COMMON_CDF_H_
+#define SRC_COMMON_CDF_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bullet {
+
+// A named series of samples (e.g. download completion times of one system).
+struct CdfSeries {
+  std::string name;
+  std::vector<double> samples;
+};
+
+// Prints, for each series, rows "fraction value" at the given number of evenly spaced
+// quantiles (plus min and max), in a gnuplot-friendly layout:
+//
+//   # <name>
+//   0.010 102.4
+//   ...
+void PrintCdf(std::ostream& os, const std::vector<CdfSeries>& series, int points = 20);
+
+// Prints a compact one-line-per-series summary table: name, p05, p50, p90, max, mean.
+void PrintSummaryTable(std::ostream& os, const std::vector<CdfSeries>& series);
+
+}  // namespace bullet
+
+#endif  // SRC_COMMON_CDF_H_

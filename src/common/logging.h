@@ -1,0 +1,48 @@
+// Minimal leveled logging. The emulator is single-threaded per simulation; logging is
+// off by default and enabled via BULLET_LOG=debug|info|warn for debugging runs.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bullet {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+bool LogEnabled(LogLevel level);
+void LogLine(LogLevel level, const std::string& msg);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define BULLET_LOG(level)                            \
+  if (!::bullet::LogEnabled(::bullet::LogLevel::level)) { \
+  } else                                             \
+    ::bullet::log_internal::LogMessage(::bullet::LogLevel::level).stream()
+
+}  // namespace bullet
+
+#endif  // SRC_COMMON_LOGGING_H_

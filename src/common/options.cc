@@ -1,0 +1,34 @@
+#include "src/common/options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace bullet {
+
+ReproScale GetReproScale() {
+  ReproScale scale;
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env != nullptr && std::strcmp(env, "full") == 0) {
+    scale.file_scale = 1.0;
+    scale.full = true;
+  } else {
+    // CI default: 20% of the paper's file sizes — large enough that transfer time,
+    // not overlay formation, dominates, so orderings and rough factors match the
+    // full-scale runs; small enough that the whole bench suite takes minutes.
+    scale.file_scale = 0.20;
+    scale.full = false;
+  }
+  return scale;
+}
+
+int64_t ScaledFileBytes(int64_t paper_bytes, int64_t block_bytes) {
+  const ReproScale scale = GetReproScale();
+  int64_t bytes = static_cast<int64_t>(static_cast<double>(paper_bytes) * scale.file_scale);
+  int64_t blocks = bytes / block_bytes;
+  if (blocks < 16) {
+    blocks = 16;
+  }
+  return blocks * block_bytes;
+}
+
+}  // namespace bullet

@@ -1,0 +1,74 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bullet {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = gain_ * x + (1.0 - gain_) * value_;
+  }
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+double RateMeter::RateBps(int64_t window_start_us, int64_t now_us) const {
+  const int64_t span = now_us - window_start_us;
+  if (span <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes_) * 1e6 / static_cast<double>(span);
+}
+
+}  // namespace bullet

@@ -1,0 +1,86 @@
+#include "src/core/adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace bullet {
+
+int ManageMaxPeers(PeerSetState& state, int cur_size, double bw, int hard_min, int hard_max) {
+  // Fig. 2: only adjust when the peer set has actually filled to its target; until
+  // then the node is still ramping up and bandwidth comparisons are meaningless.
+  if (cur_size == state.max_peers) {
+    if (state.num_prev == 0) {
+      // Try to add a new peer by default.
+      ++state.max_peers;
+    } else if (cur_size > state.num_prev) {
+      if (bw > state.prev_bw) {
+        ++state.max_peers;  // Bandwidth went up; try adding a sender.
+      } else {
+        --state.max_peers;  // Adding a new sender was bad.
+      }
+    } else if (cur_size < state.num_prev) {
+      if (bw > state.prev_bw) {
+        --state.max_peers;  // Losing a sender made us faster; try losing another.
+      } else {
+        ++state.max_peers;  // Losing a sender was bad.
+      }
+    }
+    state.max_peers = std::clamp(state.max_peers, hard_min, hard_max);
+  }
+  state.num_prev = cur_size;
+  state.prev_bw = bw;
+  return state.max_peers;
+}
+
+std::vector<size_t> TrimIndices(const std::vector<double>& metric, double stddevs,
+                                size_t min_keep) {
+  std::vector<size_t> out;
+  if (metric.size() <= min_keep) {
+    return out;
+  }
+  RunningStats stats;
+  for (const double m : metric) {
+    stats.Add(m);
+  }
+  const double cutoff = stats.mean() - stddevs * stats.stddev();
+  if (stats.stddev() <= 0.0) {
+    return out;
+  }
+  std::vector<size_t> order(metric.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return metric[a] < metric[b]; });
+  for (const size_t i : order) {
+    if (metric[i] >= cutoff || metric.size() - out.size() <= min_keep) {
+      break;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+double ManageOutstanding(double requested, double in_front, double wasted_sec,
+                         double bandwidth_Bps, double block_bytes,
+                         const OutstandingParams& params) {
+  // Fig. 3: start with the current value; the target keeps exactly one block queued
+  // in front of the sender's socket buffer.
+  double desired = requested + 1.0;
+  if (wasted_sec <= 0.0 || in_front <= 1.0) {
+    desired -= params.alpha * wasted_sec * bandwidth_Bps / block_bytes;
+  }
+  if (wasted_sec <= 0.0 && in_front > 1.0) {
+    desired -= params.beta * (in_front - 1.0);
+  }
+  if (desired > requested) {
+    // Matching the request rate to the sending rate would not saturate the TCP
+    // connection; take the ceiling whenever we increase.
+    desired = std::ceil(desired);
+  }
+  return std::clamp(desired, params.min_outstanding, params.max_outstanding);
+}
+
+}  // namespace bullet

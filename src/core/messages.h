@@ -1,0 +1,108 @@
+// Bullet' wire messages (Fig. 1 of the paper, steps 4-8). Wire sizes include a
+// per-message protocol header estimate; the emulator charges exactly wire_bytes.
+
+#ifndef SRC_CORE_MESSAGES_H_
+#define SRC_CORE_MESSAGES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace bullet {
+
+namespace bp {
+
+constexpr int64_t kSmallHeader = 16;
+
+// Receiver -> candidate sender: "I want to receive from you".
+struct PeerRequestMsg : Message {
+  static constexpr int kType = 101;
+  PeerRequestMsg() {
+    type = kType;
+    wire_bytes = kSmallHeader;
+  }
+};
+
+// Sender -> receiver: peering accepted; a full diff follows.
+struct PeerAcceptMsg : Message {
+  static constexpr int kType = 102;
+  PeerAcceptMsg() {
+    type = kType;
+    wire_bytes = kSmallHeader;
+  }
+};
+
+// Sender -> receiver: at capacity.
+struct PeerRejectMsg : Message {
+  static constexpr int kType = 103;
+  PeerRejectMsg() {
+    type = kType;
+    wire_bytes = kSmallHeader;
+  }
+};
+
+// Sender -> receiver: blocks newly available at the sender (incremental; a block id
+// is mentioned to a given receiver at most once, Section 3.3.4). For large diffs the
+// wire cost is capped at the bitmap representation.
+struct DiffMsg : Message {
+  static constexpr int kType = 104;
+  std::vector<uint32_t> ids;
+
+  void Finalize(uint32_t num_blocks_total) {
+    type = kType;
+    const int64_t as_list = static_cast<int64_t>(ids.size()) * 4;
+    const int64_t as_bitmap = static_cast<int64_t>(num_blocks_total + 7) / 8;
+    wire_bytes = kSmallHeader + std::min(as_list, as_bitmap);
+  }
+};
+
+// Receiver -> sender: "I am about to run out of known-available blocks; send a diff".
+struct DiffRequestMsg : Message {
+  static constexpr int kType = 105;
+  DiffRequestMsg() {
+    type = kType;
+    wire_bytes = 12;
+  }
+};
+
+// Receiver -> sender: request one block. `marked` tags the request used to observe
+// the effect of the last outstanding-window adjustment (Section 3.3.3). The receiver
+// piggybacks its current total inbound bandwidth, which the sender uses when trimming
+// receivers (Section 3.3.1).
+struct BlockRequestMsg : Message {
+  static constexpr int kType = 106;
+  uint32_t block_id = 0;
+  bool marked = false;
+  float receiver_total_in_bps = 0;
+
+  BlockRequestMsg() {
+    type = kType;
+    wire_bytes = 24;
+  }
+};
+
+// Sender -> receiver: one data block. Carries the flow-control measurements for the
+// request that elicited it, plus piggybacked availability news (ids the sender
+// acquired since it last told this receiver).
+struct BlockMsg : Message {
+  static constexpr int kType = 107;
+  uint32_t block_id = 0;
+  bool pushed = false;    // true for source tree pushes (no request)
+  bool marked = false;    // echoes the request's mark
+  float in_front = 0;     // queued blocks in front of the socket buffer at request time
+  float wasted_sec = 0;   // negative: idle gap; positive: service/queue wait
+  std::vector<uint32_t> news;
+
+  void Finalize(int64_t block_bytes) {
+    type = kType;
+    wire_bytes = block_bytes + 32 + static_cast<int64_t>(news.size()) * 4;
+  }
+};
+
+}  // namespace bp
+
+}  // namespace bullet
+
+#endif  // SRC_CORE_MESSAGES_H_

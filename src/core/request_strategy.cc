@@ -1,0 +1,130 @@
+#include "src/core/request_strategy.h"
+
+#include <algorithm>
+
+namespace bullet {
+
+void CandidateSet::Add(uint32_t id) {
+  fifo_.push_back(id);
+  vec_.push_back(id);
+}
+
+std::optional<uint32_t> CandidateSet::Pick(RequestStrategy strategy, const ValidFn& valid,
+                                           const RarityFn& rarity, Rng& rng) {
+  switch (strategy) {
+    case RequestStrategy::kFirstEncountered:
+      return PickFirst(valid);
+    case RequestStrategy::kRandom:
+      return PickRandom(valid, rng);
+    case RequestStrategy::kRarest:
+      return PickRarest(valid, rarity, rng, /*random_tie=*/false);
+    case RequestStrategy::kRarestRandom:
+      return PickRarest(valid, rarity, rng, /*random_tie=*/true);
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> CandidateSet::PickFirst(const ValidFn& valid) {
+  while (!fifo_.empty()) {
+    const uint32_t id = fifo_.front();
+    fifo_.pop_front();
+    if (valid(id)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> CandidateSet::PickRandom(const ValidFn& valid, Rng& rng) {
+  while (!vec_.empty()) {
+    const size_t i = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(vec_.size()) - 1));
+    const uint32_t id = vec_[i];
+    RemoveAt(i);
+    if (valid(id)) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> CandidateSet::PickRarest(const ValidFn& valid, const RarityFn& rarity,
+                                                 Rng& rng, bool random_tie) {
+  while (!vec_.empty()) {
+    // Examine a bounded random sample (or everything, if small).
+    const size_t sample = std::min(vec_.size(), kRaritySample);
+    int best_rarity = INT32_MAX;
+    size_t best_index = SIZE_MAX;
+    uint32_t best_id = 0;
+    int ties = 0;
+    bool found_stale = false;
+    const bool exhaustive = vec_.size() <= kRaritySample;
+    for (size_t s = 0; s < sample; ++s) {
+      const size_t i =
+          exhaustive
+              ? s
+              : static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(vec_.size()) - 1));
+      const uint32_t id = vec_[i];
+      if (!valid(id)) {
+        found_stale = true;
+        continue;
+      }
+      const int r = rarity(id);
+      bool better = false;
+      if (r < best_rarity) {
+        better = true;
+        ties = 1;
+      } else if (r == best_rarity) {
+        ++ties;
+        if (random_tie) {
+          // Reservoir sampling among ties.
+          better = rng.UniformInt(1, ties) == 1;
+        } else {
+          better = id < best_id;  // Deterministic tie-break: the plain-rarest flaw.
+        }
+      }
+      if (better) {
+        best_rarity = r;
+        best_index = i;
+        best_id = id;
+      }
+    }
+    if (best_index != SIZE_MAX) {
+      const uint32_t id = vec_[best_index];
+      RemoveAt(best_index);
+      return id;
+    }
+    if (!exhaustive && found_stale) {
+      // The sample hit only stale entries; compact and retry on the cleaned set.
+      Compact(valid);
+      continue;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool CandidateSet::RunningDry(size_t threshold, const ValidFn& valid) const {
+  size_t found = 0;
+  // Scan from the back (most recently discovered, most likely still valid).
+  for (size_t i = vec_.size(); i-- > 0;) {
+    if (valid(vec_[i])) {
+      ++found;
+      if (found >= threshold) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void CandidateSet::RemoveAt(size_t index) {
+  vec_[index] = vec_.back();
+  vec_.pop_back();
+}
+
+void CandidateSet::Compact(const ValidFn& valid) {
+  vec_.erase(std::remove_if(vec_.begin(), vec_.end(), [&](uint32_t id) { return !valid(id); }),
+             vec_.end());
+}
+
+}  // namespace bullet

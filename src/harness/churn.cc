@@ -1,0 +1,25 @@
+#include "src/harness/churn.h"
+
+namespace bullet {
+
+ChurnPlan PlanLeafFailures(const ControlTree& tree, NodeId source, int count, Rng& rng) {
+  ChurnPlan plan;
+  std::vector<NodeId> leaves;
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (n != source && tree.children[static_cast<size_t>(n)].empty()) {
+      leaves.push_back(n);
+    }
+  }
+  plan.victims = rng.Sample(leaves, static_cast<size_t>(count));
+  return plan;
+}
+
+void ScheduleChurn(Network& net, const ChurnPlan& plan) {
+  SimTime at = plan.first_kill;
+  for (const NodeId victim : plan.victims) {
+    net.queue().Schedule(at, [&net, victim] { net.FailNode(victim); });
+    at += plan.interval;
+  }
+}
+
+}  // namespace bullet

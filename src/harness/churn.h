@@ -1,0 +1,38 @@
+// Failure injection for resilience experiments.
+//
+// The paper's core argument for meshes (Section 1) is that losing one of n peers
+// costs roughly 1/n of a node's bandwidth and triggers no reconnection storm,
+// whereas losing an interior tree node cuts off a whole subtree. The paper's own
+// experiments run without churn; this driver is the reproduction's extension for
+// exercising that claim (tests/integration/churn_test.cc, bench_churn_resilience).
+//
+// Failures target leaves of the control tree: Bullet' repairs its *mesh* around
+// failures (RanSub stops advertising dead peers once their summaries age out, and
+// ManageSenders replaces them), but control-tree repair is out of scope here as it
+// was in the paper, so killing interior tree nodes would conflate the two effects.
+
+#ifndef SRC_HARNESS_CHURN_H_
+#define SRC_HARNESS_CHURN_H_
+
+#include <vector>
+
+#include "src/overlay/control_tree.h"
+#include "src/sim/network.h"
+
+namespace bullet {
+
+struct ChurnPlan {
+  std::vector<NodeId> victims;  // in kill order
+  SimTime first_kill = SecToSim(15.0);
+  SimTime interval = SecToSim(10.0);
+};
+
+// Picks up to `count` control-tree leaves (never the source), uniformly at random.
+ChurnPlan PlanLeafFailures(const ControlTree& tree, NodeId source, int count, Rng& rng);
+
+// Schedules the failures on the network's event queue.
+void ScheduleChurn(Network& net, const ChurnPlan& plan);
+
+}  // namespace bullet
+
+#endif  // SRC_HARNESS_CHURN_H_

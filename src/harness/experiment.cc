@@ -1,0 +1,35 @@
+#include "src/harness/experiment.h"
+
+namespace bullet {
+
+Experiment::Experiment(Topology topology, const ExperimentParams& params) : params_(params) {
+  NetworkConfig net_config;
+  net_config.quantum = params.quantum;
+  net_ = std::make_unique<Network>(std::move(topology), net_config, params.seed ^ 0x9e3779b9ULL);
+  Rng tree_rng(params.seed ^ 0x7f4a7c15ULL);
+  tree_ = ControlTree::Random(net_->num_nodes(), params.tree_fanout, tree_rng);
+  metrics_ = std::make_unique<RunMetrics>(net_->num_nodes());
+  metrics_->record_arrivals = params.record_arrivals;
+}
+
+RunMetrics Experiment::Run(const ProtocolFactory& factory) {
+  const int n = net_->num_nodes();
+  protocols_.clear();
+  protocols_.reserve(static_cast<size_t>(n));
+  for (NodeId node = 0; node < n; ++node) {
+    Protocol::Context ctx;
+    ctx.self = node;
+    ctx.net = net_.get();
+    ctx.metrics = metrics_.get();
+    ctx.seed = params_.seed * 0x100000001b3ULL + static_cast<uint64_t>(node) + 1;
+    protocols_.push_back(factory(ctx, &tree_));
+    net_->SetHandler(node, protocols_.back().get());
+  }
+  for (auto& p : protocols_) {
+    p->Start();
+  }
+  net_->Run(params_.deadline);
+  return *metrics_;
+}
+
+}  // namespace bullet

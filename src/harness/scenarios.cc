@@ -1,0 +1,117 @@
+#include "src/harness/scenarios.h"
+
+#include <memory>
+
+#include "src/baselines/bittorrent.h"
+#include "src/baselines/bullet_legacy.h"
+#include "src/baselines/splitstream.h"
+#include "src/core/bullet_prime.h"
+
+namespace bullet {
+
+const char* SystemName(System system) {
+  switch (system) {
+    case System::kBulletPrime:
+      return "BulletPrime";
+    case System::kBulletLegacy:
+      return "Bullet";
+    case System::kBitTorrent:
+      return "BitTorrent";
+    case System::kSplitStream:
+      return "SplitStream";
+  }
+  return "?";
+}
+
+Topology BuildScenarioTopology(const ScenarioConfig& cfg) {
+  Rng rng(cfg.seed ^ 0x74d3c2e1b5a69788ULL);
+  switch (cfg.topo) {
+    case ScenarioConfig::Topo::kMesh: {
+      Topology::MeshParams mesh;
+      mesh.num_nodes = cfg.num_nodes;
+      mesh.core_loss_min = cfg.loss_min;
+      mesh.core_loss_max = cfg.loss_max;
+      return Topology::FullMesh(mesh, rng);
+    }
+    case ScenarioConfig::Topo::kConstrained:
+      return Topology::ConstrainedAccess(cfg.num_nodes, rng);
+    case ScenarioConfig::Topo::kUniform:
+      return Topology::Uniform(cfg.num_nodes, cfg.uniform_bps, cfg.uniform_delay, cfg.loss_min,
+                               cfg.loss_max, rng);
+    case ScenarioConfig::Topo::kWideArea:
+      return Topology::WideArea(cfg.num_nodes, rng);
+  }
+  Topology::MeshParams mesh;
+  mesh.num_nodes = cfg.num_nodes;
+  return Topology::FullMesh(mesh, rng);
+}
+
+ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const BulletPrimeConfig& bp) {
+  ExperimentParams params;
+  params.seed = cfg.seed;
+  params.file.block_bytes = cfg.block_bytes;
+  params.file.num_blocks =
+      static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.block_bytes));
+  params.deadline = cfg.deadline;
+  params.record_arrivals = cfg.record_arrivals;
+
+  // Per Section 4.2: Bullet and SplitStream run over a source-encoded stream; their
+  // downloads complete at (1 + 4%) n distinct blocks.
+  const bool encoded = cfg.force_encoded || system == System::kBulletLegacy ||
+                       system == System::kSplitStream;
+  params.file.encoded = encoded;
+
+  Experiment exp(BuildScenarioTopology(cfg), params);
+  if (cfg.dynamic_bw) {
+    StartPeriodicBandwidthChanges(exp.net(), BandwidthDynamicsParams{});
+  }
+
+  std::shared_ptr<StripeForest> forest;
+  if (system == System::kSplitStream) {
+    SplitStreamConfig ss_config;
+    Rng forest_rng(cfg.seed ^ 0x517cc1b727220a95ULL);
+    forest = std::make_shared<StripeForest>(
+        StripeForest::Build(cfg.num_nodes, ss_config.num_stripes, params.source, forest_rng));
+  }
+
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree)
+                                   -> std::unique_ptr<Protocol> {
+    switch (system) {
+      case System::kBulletPrime:
+        return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, bp);
+      case System::kBulletLegacy:
+        return std::make_unique<BulletLegacy>(ctx, params.file, params.source, tree,
+                                              BulletLegacyConfig{});
+      case System::kBitTorrent:
+        return std::make_unique<BitTorrent>(ctx, params.file, params.source, BitTorrentConfig{});
+      case System::kSplitStream:
+        return std::make_unique<SplitStream>(ctx, params.file, params.source, forest.get(),
+                                             SplitStreamConfig{});
+    }
+    return nullptr;
+  });
+
+  ScenarioResult result;
+  result.name = SystemName(system);
+  result.completion_sec = metrics.CompletionSeconds(params.source, SimToSec(cfg.deadline));
+  result.duplicate_fraction = metrics.DuplicateFraction();
+  result.control_overhead = metrics.ControlOverheadFraction();
+  result.completed = metrics.completed();
+  result.receivers = cfg.num_nodes - 1;
+  return result;
+}
+
+double OptimalAccessLinkSeconds(double file_mb, double access_bps) {
+  return file_mb * 1024.0 * 1024.0 * 8.0 / access_bps;
+}
+
+double TcpFeasibleSeconds(double file_mb, double access_bps, double startup_sec) {
+  // Protocol efficiency: TCP/IP header overhead on 1460-byte segments plus block
+  // headers (~0.2%), and a sustained-utilization factor for congestion avoidance.
+  constexpr double kHeaderEfficiency = 1460.0 / 1500.0;
+  constexpr double kTcpUtilization = 0.95;
+  const double goodput = access_bps * kHeaderEfficiency * kTcpUtilization;
+  return startup_sec + file_mb * 1024.0 * 1024.0 * 8.0 / goodput;
+}
+
+}  // namespace bullet

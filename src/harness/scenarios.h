@@ -1,0 +1,77 @@
+// Scenario builders reproducing the paper's experimental setups (Section 4.1), shared
+// by the benchmarks, the integration tests and the examples. Each figure's bench is a
+// thin wrapper over RunScenario with the right knobs.
+
+#ifndef SRC_HARNESS_SCENARIOS_H_
+#define SRC_HARNESS_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/harness/experiment.h"
+#include "src/sim/dynamics.h"
+
+namespace bullet {
+
+enum class System {
+  kBulletPrime,
+  kBulletLegacy,
+  kBitTorrent,
+  kSplitStream,
+};
+
+const char* SystemName(System system);
+
+struct ScenarioConfig {
+  enum class Topo {
+    kMesh,         // Section 4.1: 6 Mbps access, 2 Mbps core, 5-200 ms, random loss
+    kConstrained,  // Section 4.4: ample core, 800 Kbps access
+    kUniform,      // Section 4.5: uniform links (bandwidth/latency below)
+    kWideArea,     // Section 4.7: synthetic PlanetLab stand-in
+  };
+
+  Topo topo = Topo::kMesh;
+  int num_nodes = 100;
+  double file_mb = 100.0;
+  int64_t block_bytes = 16 * 1024;
+  double loss_min = 0.0;
+  double loss_max = 0.03;
+  double uniform_bps = 10e6;
+  SimTime uniform_delay = MsToSim(100);
+  bool dynamic_bw = false;  // the Section 4.1 periodic correlated bandwidth halving
+  uint64_t seed = 1;
+  SimTime deadline = SecToSim(7200.0);
+  bool record_arrivals = false;
+  // Force encoded-stream methodology regardless of system (Bullet and SplitStream are
+  // always treated as encoded with 4% overhead, per Section 4.2).
+  bool force_encoded = false;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<double> completion_sec;  // per receiver; incomplete nodes at deadline
+  double duplicate_fraction = 0.0;
+  double control_overhead = 0.0;
+  int completed = 0;
+  int receivers = 0;
+};
+
+// Builds the topology for `cfg` (deterministic in cfg.seed).
+Topology BuildScenarioTopology(const ScenarioConfig& cfg);
+
+// Runs one system through the scenario. `bp` applies when system == kBulletPrime.
+ScenarioResult RunScenario(System system, const ScenarioConfig& cfg,
+                           const BulletPrimeConfig& bp = BulletPrimeConfig{});
+
+// --- Fig. 4 reference lines ---
+
+// Download time were the access link the only constraint and protocols free.
+double OptimalAccessLinkSeconds(double file_mb, double access_bps);
+// Best plausible time for a MACEDON/TCP system: protocol headers, TCP slow start,
+// and the initial tree/RanSub startup delay before the mesh forms.
+double TcpFeasibleSeconds(double file_mb, double access_bps, double startup_sec);
+
+}  // namespace bullet
+
+#endif  // SRC_HARNESS_SCENARIOS_H_

@@ -1,0 +1,30 @@
+// The control tree used for joining the overlay and for RanSub epochs (Fig. 1 of the
+// paper, step 1). Bullet' uses a basic random tree; the source is always the root.
+
+#ifndef SRC_OVERLAY_CONTROL_TREE_H_
+#define SRC_OVERLAY_CONTROL_TREE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/topology.h"
+
+namespace bullet {
+
+struct ControlTree {
+  std::vector<NodeId> parent;                 // parent[root] == -1
+  std::vector<std::vector<NodeId>> children;  // children[n] in attach order
+  std::vector<int> subtree_size;              // including the node itself
+
+  int num_nodes() const { return static_cast<int>(parent.size()); }
+  bool IsRoot(NodeId n) const { return parent[static_cast<size_t>(n)] < 0; }
+  int depth(NodeId n) const;
+
+  // Random tree rooted at node 0: nodes join in random order and attach to a random
+  // node that still has fanout capacity.
+  static ControlTree Random(int num_nodes, int max_fanout, Rng& rng);
+};
+
+}  // namespace bullet
+
+#endif  // SRC_OVERLAY_CONTROL_TREE_H_

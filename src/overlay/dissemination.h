@@ -1,0 +1,100 @@
+// Shared state and bookkeeping for every file-dissemination protocol in this repo:
+// file parameters, the local block map, completion detection, and metrics accounting.
+
+#ifndef SRC_OVERLAY_DISSEMINATION_H_
+#define SRC_OVERLAY_DISSEMINATION_H_
+
+#include <cmath>
+
+#include "src/common/bitmap.h"
+#include "src/common/sketch.h"
+#include "src/overlay/protocol.h"
+
+namespace bullet {
+
+struct FileParams {
+  int64_t block_bytes = 16 * 1024;  // the paper's transfer block size (Section 4.2)
+  uint32_t num_blocks = 0;          // original file blocks n
+  // Source-encoded (rateless) mode: the source emits a stream of distinct encoded
+  // blocks; a receiver completes once it holds (1 + overhead) * n distinct blocks.
+  bool encoded = false;
+  double encoding_overhead = 0.04;  // the paper's measured reception overhead
+  // Encoded sources keep minting fresh blocks while receivers lag; this bounds the
+  // id space (and thus bitmap sizes). Push-only systems (SplitStream) need headroom:
+  // a subtree behind a slow interior link misses a share of every stripe and only
+  // completes because the stream keeps going.
+  uint32_t encoded_space_factor = 8;
+
+  int64_t file_bytes() const { return block_bytes * num_blocks; }
+  // Size of the block-id space (encoded sources may emit beyond n).
+  uint32_t BlockSpace() const { return encoded ? num_blocks * encoded_space_factor : num_blocks; }
+  uint32_t DistinctNeeded() const {
+    if (!encoded) {
+      return num_blocks;
+    }
+    return static_cast<uint32_t>(std::ceil((1.0 + encoding_overhead) * num_blocks));
+  }
+};
+
+class DisseminationProtocol : public Protocol {
+ public:
+  DisseminationProtocol(const Context& ctx, const FileParams& file, NodeId source)
+      : Protocol(ctx), file_(file), source_(source), have_(file.BlockSpace()) {
+    if (ctx.self == source && !file.encoded) {
+      for (uint32_t b = 0; b < file.num_blocks; ++b) {
+        have_.Set(b);
+        sketch_.AddBlock(b);
+      }
+    }
+  }
+
+  bool complete() const {
+    return self() == source_ || have_.count() >= file_.DistinctNeeded();
+  }
+  const Bitmap& have() const { return have_; }
+  const FileParams& file() const { return file_; }
+  NodeId source() const { return source_; }
+  bool is_source() const { return self() == source_; }
+
+ protected:
+  // Records an arriving block. Returns true if the block was new. Handles metrics,
+  // completion recording, and stops the network once every receiver is done.
+  bool AcceptBlock(uint32_t id, int64_t wire_bytes) {
+    NodeMetrics& m = metrics().node(self());
+    if (!have_.Set(id)) {
+      ++m.duplicate_blocks;
+      m.dup_bytes_in += wire_bytes;
+      return false;
+    }
+    sketch_.AddBlock(id);
+    ++m.useful_blocks;
+    m.data_bytes_in += wire_bytes;
+    if (metrics().record_arrivals) {
+      m.block_arrivals.push_back(now());
+    }
+    if (!is_source() && have_.count() == file_.DistinctNeeded()) {
+      metrics().RecordCompletion(self(), now());
+      OnFileComplete();
+      if (metrics().completed() >= metrics().num_nodes() - 1) {
+        net().Stop();
+      }
+    }
+    return true;
+  }
+
+  void AccountControlIn(int64_t bytes) { metrics().node(self()).ctrl_bytes_in += bytes; }
+  void AccountControlOut(int64_t bytes) { metrics().node(self()).ctrl_bytes_out += bytes; }
+
+  virtual void OnFileComplete() {}
+
+  const AvailabilitySketch& sketch() const { return sketch_; }
+
+  FileParams file_;
+  NodeId source_;
+  Bitmap have_;
+  AvailabilitySketch sketch_;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_OVERLAY_DISSEMINATION_H_

@@ -1,0 +1,28 @@
+#include "src/rsyncx/rolling_checksum.h"
+
+namespace bullet {
+
+void RollingChecksum::Init(const uint8_t* data, size_t len) {
+  a_ = 0;
+  b_ = 0;
+  len_ = len;
+  for (size_t i = 0; i < len; ++i) {
+    a_ += data[i];
+    b_ += static_cast<uint32_t>(len - i) * data[i];
+  }
+  a_ &= 0xffff;
+  b_ &= 0xffff;
+}
+
+void RollingChecksum::Roll(uint8_t out, uint8_t in) {
+  a_ = (a_ - out + in) & 0xffff;
+  b_ = (b_ - static_cast<uint32_t>(len_) * out + a_) & 0xffff;
+}
+
+uint32_t RollingChecksum::Compute(const uint8_t* data, size_t len) {
+  RollingChecksum rc;
+  rc.Init(data, len);
+  return rc.value();
+}
+
+}  // namespace bullet

@@ -1,0 +1,113 @@
+#include "src/shotgun/rsync_baseline.h"
+
+#include <algorithm>
+
+namespace bullet {
+
+// --------------------------------- server ----------------------------------
+
+void RsyncServer::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) {
+  switch (msg->type) {
+    case rs::SessionRequestMsg::kType: {
+      if (active_sessions_ < config_.max_parallel) {
+        Grant(conn);
+      } else {
+        waiting_.push_back(conn);
+      }
+      return;
+    }
+    case rs::SignatureMsg::kType: {
+      // Walk the image and compute the delta. The disk is a single shared FIFO
+      // resource: sessions queue behind each other.
+      const SimTime start = std::max(now(), disk_busy_until_);
+      const SimTime service = SecToSim(static_cast<double>(config_.server_scan_bytes) /
+                                       config_.server_disk_Bps);
+      disk_busy_until_ = start + service;
+      queue().Schedule(disk_busy_until_, [this, conn] {
+        if (!net().IsOpen(conn)) {
+          FinishSession();
+          return;
+        }
+        auto delta = std::make_unique<rs::DeltaStreamMsg>();
+        delta->type = rs::DeltaStreamMsg::kType;
+        delta->wire_bytes = config_.delta_bytes;
+        net().Send(conn, self(), std::move(delta));
+      });
+      return;
+    }
+    case rs::SessionDoneMsg::kType: {
+      FinishSession();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void RsyncServer::OnConnDown(ConnId conn, NodeId peer) {
+  waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), conn), waiting_.end());
+}
+
+void RsyncServer::Grant(ConnId conn) {
+  ++active_sessions_;
+  net().Send(conn, self(), std::make_unique<rs::SessionGrantMsg>());
+}
+
+void RsyncServer::FinishSession() {
+  active_sessions_ = std::max(0, active_sessions_ - 1);
+  while (active_sessions_ < config_.max_parallel && !waiting_.empty()) {
+    const ConnId next = waiting_.front();
+    waiting_.pop_front();
+    if (net().IsOpen(next)) {
+      Grant(next);
+    }
+  }
+}
+
+// --------------------------------- client ----------------------------------
+
+void RsyncClient::Start() { conn_ = net().Connect(self(), server_); }
+
+void RsyncClient::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
+  if (conn == conn_ && initiator) {
+    net().Send(conn_, self(), std::make_unique<rs::SessionRequestMsg>());
+  }
+}
+
+void RsyncClient::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) {
+  switch (msg->type) {
+    case rs::SessionGrantMsg::kType: {
+      // Compute the signature of the local image (client disk read), then upload it.
+      const SimTime scan =
+          SecToSim(static_cast<double>(config_.replay_bytes) / 2.0 / config_.client_disk_Bps);
+      queue().ScheduleAfter(scan, [this] {
+        if (!net().IsOpen(conn_)) {
+          return;
+        }
+        auto sig = std::make_unique<rs::SignatureMsg>();
+        sig->type = rs::SignatureMsg::kType;
+        sig->wire_bytes = config_.sig_bytes;
+        net().Send(conn_, self(), std::move(sig));
+      });
+      return;
+    }
+    case rs::DeltaStreamMsg::kType: {
+      download_done_at_ = now();
+      net().Send(conn_, self(), std::make_unique<rs::SessionDoneMsg>());
+      // Replay the delta against the local disk, then the node is synchronized.
+      const SimTime replay =
+          SecToSim(static_cast<double>(config_.replay_bytes) / config_.client_disk_Bps);
+      queue().ScheduleAfter(replay, [this] {
+        metrics().RecordCompletion(self(), now());
+        if (metrics().completed() >= metrics().num_nodes() - 1) {
+          net().Stop();
+        }
+      });
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace bullet

@@ -1,0 +1,106 @@
+// The Fig. 15 baseline: N clients synchronizing against one central rsync server
+// with at most K simultaneous sessions (the paper's "staggered approach").
+//
+// Session shape mirrors rsync's receiver-computes-signature protocol: the client
+// uploads per-file block signatures; the server walks its new image (disk read),
+// computes the delta, and streams it back; the client replays the delta against its
+// local disk. The server's disk is a single shared FIFO resource — the paper found
+// the disk, not the network, to be the constraint on PlanetLab — and its uplink is
+// shared by every concurrent delta stream, which the emulator's max-min allocator
+// handles naturally.
+
+#ifndef SRC_SHOTGUN_RSYNC_BASELINE_H_
+#define SRC_SHOTGUN_RSYNC_BASELINE_H_
+
+#include <deque>
+
+#include "src/overlay/protocol.h"
+
+namespace bullet {
+
+struct RsyncFleetConfig {
+  int max_parallel = 4;       // concurrent sessions admitted by the server
+  int64_t sig_bytes = 0;      // signature upload per client
+  int64_t delta_bytes = 0;    // delta download per client
+  int64_t server_scan_bytes = 0;  // image bytes the server reads per session
+  int64_t replay_bytes = 0;   // bytes the client's disk replays on apply
+  double server_disk_Bps = 30e6;
+  double client_disk_Bps = 15e6;
+};
+
+namespace rs {
+
+struct SessionRequestMsg : Message {
+  static constexpr int kType = 501;
+  SessionRequestMsg() {
+    type = kType;
+    wire_bytes = 64;
+  }
+};
+
+struct SessionGrantMsg : Message {
+  static constexpr int kType = 502;
+  SessionGrantMsg() {
+    type = kType;
+    wire_bytes = 16;
+  }
+};
+
+struct SignatureMsg : Message {
+  static constexpr int kType = 503;
+};
+
+struct DeltaStreamMsg : Message {
+  static constexpr int kType = 504;
+};
+
+struct SessionDoneMsg : Message {
+  static constexpr int kType = 505;
+  SessionDoneMsg() {
+    type = kType;
+    wire_bytes = 16;
+  }
+};
+
+}  // namespace rs
+
+class RsyncServer : public Protocol {
+ public:
+  RsyncServer(const Context& ctx, const RsyncFleetConfig& config)
+      : Protocol(ctx), config_(config) {}
+
+  void Start() override {}
+  void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) override;
+  void OnConnDown(ConnId conn, NodeId peer) override;
+
+ private:
+  void Grant(ConnId conn);
+  void FinishSession();
+
+  RsyncFleetConfig config_;
+  int active_sessions_ = 0;
+  std::deque<ConnId> waiting_;
+  SimTime disk_busy_until_ = 0;
+};
+
+class RsyncClient : public Protocol {
+ public:
+  RsyncClient(const Context& ctx, NodeId server, const RsyncFleetConfig& config)
+      : Protocol(ctx), server_(server), config_(config) {}
+
+  void Start() override;
+  void OnConnUp(ConnId conn, NodeId peer, bool initiator) override;
+  void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) override;
+
+  SimTime download_done_at() const { return download_done_at_; }
+
+ private:
+  NodeId server_;
+  RsyncFleetConfig config_;
+  ConnId conn_ = -1;
+  SimTime download_done_at_ = -1;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SHOTGUN_RSYNC_BASELINE_H_

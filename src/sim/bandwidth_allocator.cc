@@ -1,0 +1,146 @@
+#include "src/sim/bandwidth_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace bullet {
+
+namespace {
+
+struct HeapEntry {
+  double share;
+  int32_t link;
+  uint32_t stamp;
+  bool operator>(const HeapEntry& o) const { return share > o.share; }
+};
+
+}  // namespace
+
+void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& link_capacity_bps) {
+  const size_t num_links = link_capacity_bps.size();
+  std::vector<double> remaining(link_capacity_bps);
+  std::vector<int32_t> nflows(num_links, 0);
+  std::vector<uint32_t> stamp(num_links, 0);
+
+  std::vector<std::vector<uint32_t>> link_flows(num_links);
+  for (size_t i = 0; i < flows.size(); ++i) {
+    flows[i].rate_bps = 0.0;
+    for (int32_t l : flows[i].links) {
+      if (l >= 0) {
+        ++nflows[static_cast<size_t>(l)];
+        link_flows[static_cast<size_t>(l)].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+
+  // Flow indices ordered by ascending cap, so cap-limited flows freeze cheaply.
+  std::vector<size_t> by_cap(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    by_cap[i] = i;
+  }
+  std::sort(by_cap.begin(), by_cap.end(),
+            [&](size_t a, size_t b) { return flows[a].cap_bps < flows[b].cap_bps; });
+  size_t cap_cursor = 0;
+
+  std::vector<char> frozen(flows.size(), 0);
+  size_t frozen_count = 0;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  auto push_link = [&](int32_t l) {
+    const size_t li = static_cast<size_t>(l);
+    if (nflows[li] > 0) {
+      heap.push(HeapEntry{remaining[li] / nflows[li], l, stamp[li]});
+    }
+  };
+  for (size_t l = 0; l < num_links; ++l) {
+    push_link(static_cast<int32_t>(l));
+  }
+
+  // Freeze one flow at `rate`, removing its demand from its links.
+  auto freeze = [&](size_t fi, double rate) {
+    FlowSpec& f = flows[fi];
+    f.rate_bps = std::max(rate, 0.0);
+    frozen[fi] = 1;
+    ++frozen_count;
+    for (int32_t l : f.links) {
+      if (l < 0) {
+        continue;
+      }
+      const size_t li = static_cast<size_t>(l);
+      remaining[li] = std::max(0.0, remaining[li] - f.rate_bps);
+      --nflows[li];
+      ++stamp[li];
+      push_link(l);
+    }
+  };
+
+  // Flows that traverse no links are bounded only by their cap.
+  for (size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].links[0] < 0 && flows[i].links[1] < 0 && flows[i].links[2] < 0 && !frozen[i]) {
+      frozen[i] = 1;
+      ++frozen_count;
+      flows[i].rate_bps = flows[i].cap_bps;
+    }
+  }
+
+  while (frozen_count < flows.size()) {
+    // Find the currently most constrained link (skip stale heap entries).
+    double min_share = -1.0;
+    int32_t min_link = -1;
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      const size_t li = static_cast<size_t>(top.link);
+      if (top.stamp != stamp[li] || nflows[li] <= 0) {
+        heap.pop();
+        continue;
+      }
+      min_share = top.share;
+      min_link = top.link;
+      break;
+    }
+    if (min_link < 0) {
+      // No constrained link remains; all unfrozen flows get their caps.
+      for (size_t i = 0; i < flows.size(); ++i) {
+        if (!frozen[i]) {
+          frozen[i] = 1;
+          ++frozen_count;
+          flows[i].rate_bps = flows[i].cap_bps;
+        }
+      }
+      break;
+    }
+
+    // First freeze any flow whose cap is at or below the water level: it cannot use
+    // a full fair share anywhere (min_share is the global minimum share).
+    bool froze_capped = false;
+    while (cap_cursor < by_cap.size()) {
+      const size_t fi = by_cap[cap_cursor];
+      if (frozen[fi]) {
+        ++cap_cursor;
+        continue;
+      }
+      if (flows[fi].cap_bps <= min_share) {
+        freeze(fi, flows[fi].cap_bps);
+        ++cap_cursor;
+        froze_capped = true;
+      } else {
+        break;
+      }
+    }
+    if (froze_capped) {
+      continue;  // Water level may have risen; recompute.
+    }
+
+    // Saturate the bottleneck link: freeze all its unfrozen flows at the fair share.
+    const size_t li = static_cast<size_t>(min_link);
+    for (uint32_t fi : link_flows[li]) {
+      if (!frozen[fi]) {
+        freeze(fi, min_share);
+      }
+    }
+    ++stamp[li];  // Invalidate stale entries for the saturated link.
+  }
+}
+
+}  // namespace bullet

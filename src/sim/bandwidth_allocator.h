@@ -1,0 +1,34 @@
+// Max-min fair bandwidth allocation with per-flow rate caps.
+//
+// Each active flow traverses up to three links (sender uplink, core link, receiver
+// downlink) and may additionally be capped by its TCP model. Progressive filling
+// computes the unique max-min allocation: repeatedly find the most constrained link,
+// freeze its flows at the fair share, and redistribute. Flows whose cap is below the
+// current water level are frozen at their cap first.
+//
+// The allocator is stateless; the network rebuilds the flow set each rate quantum.
+
+#ifndef SRC_SIM_BANDWIDTH_ALLOCATOR_H_
+#define SRC_SIM_BANDWIDTH_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bullet {
+
+struct FlowSpec {
+  // Link indices into the capacity vector; -1 means unused slot.
+  int32_t links[3] = {-1, -1, -1};
+  // Per-flow rate cap in bits/second (TCP model); use a large value for "unlimited".
+  double cap_bps = 0.0;
+  // Output: allocated rate in bits/second.
+  double rate_bps = 0.0;
+};
+
+// Computes the allocation in place. `link_capacity_bps[i]` is the capacity of link i.
+// Runs in O(F log F + saturation events * log L).
+void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& link_capacity_bps);
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_BANDWIDTH_ALLOCATOR_H_

@@ -1,0 +1,60 @@
+#include "src/sim/dynamics.h"
+
+#include <memory>
+
+namespace bullet {
+
+namespace {
+
+void FireBandwidthChange(Network& net, const BandwidthDynamicsParams& params) {
+  Topology& topo = net.topology();
+  const int n = topo.num_nodes();
+  std::vector<NodeId> all(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    all[static_cast<size_t>(i)] = i;
+  }
+  const auto receivers =
+      net.rng().Sample(all, static_cast<size_t>(params.node_fraction * n + 0.5));
+  for (const NodeId r : receivers) {
+    std::vector<NodeId> others;
+    others.reserve(static_cast<size_t>(n) - 1);
+    for (NodeId s = 0; s < n; ++s) {
+      if (s != r) {
+        others.push_back(s);
+      }
+    }
+    const auto senders =
+        net.rng().Sample(others, static_cast<size_t>(params.sender_fraction * others.size() + 0.5));
+    for (const NodeId s : senders) {
+      topo.core(s, r).bandwidth_bps *= params.factor;
+    }
+  }
+}
+
+void ScheduleNextChange(Network& net, BandwidthDynamicsParams params) {
+  net.queue().ScheduleAfter(params.period, [&net, params] {
+    FireBandwidthChange(net, params);
+    ScheduleNextChange(net, params);
+  });
+}
+
+}  // namespace
+
+void StartPeriodicBandwidthChanges(Network& net, const BandwidthDynamicsParams& params) {
+  ScheduleNextChange(net, params);
+}
+
+void StartCascade(Network& net, NodeId target, std::vector<NodeId> senders, SimTime interval,
+                  double new_bps) {
+  // One event per sender, scheduled up front; changes are permanent, so the effect is
+  // the cumulative cascade the paper describes.
+  for (size_t i = 0; i < senders.size(); ++i) {
+    const NodeId s = senders[i];
+    net.queue().ScheduleAfter(interval * static_cast<SimTime>(i + 1),
+                              [&net, s, target, new_bps] {
+                                net.topology().core(s, target).bandwidth_bps = new_bps;
+                              });
+  }
+}
+
+}  // namespace bullet

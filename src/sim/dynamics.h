@@ -1,0 +1,38 @@
+// Dynamic network condition drivers (Section 4.1 of the paper).
+//
+// The paper's bandwidth-change scenario "models changes in the network bandwidth that
+// correspond to correlated and cumulative decreases in bandwidth from a large set of
+// sources from any vantage point": every 20 seconds, choose 50% of the overlay
+// participants uniformly at random; for each, choose 50% of the other participants
+// and halve the core-link bandwidth from those nodes toward the chosen one (the
+// reverse direction is unaffected; decreases are cumulative).
+
+#ifndef SRC_SIM_DYNAMICS_H_
+#define SRC_SIM_DYNAMICS_H_
+
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace bullet {
+
+struct BandwidthDynamicsParams {
+  SimTime period = SecToSim(20.0);
+  double node_fraction = 0.5;   // fraction of nodes whose inbound links degrade
+  double sender_fraction = 0.5; // fraction of other nodes whose links toward it degrade
+  double factor = 0.5;          // multiplicative decrease, cumulative
+};
+
+// Schedules the periodic correlated bandwidth decrease on `net`'s topology. Runs for
+// the lifetime of the simulation (each firing reschedules the next).
+void StartPeriodicBandwidthChanges(Network& net, const BandwidthDynamicsParams& params);
+
+// The Section 4.5 cascading scenario (Fig. 12): every `interval`, pick the next node
+// from `senders` (in order) and set the core bandwidth from it toward `target` to
+// `new_bps`. Changes are permanent and cumulative across senders.
+void StartCascade(Network& net, NodeId target, std::vector<NodeId> senders, SimTime interval,
+                  double new_bps);
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_DYNAMICS_H_

@@ -1,0 +1,50 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace bullet {
+
+EventId EventQueue::Schedule(SimTime at, Callback cb) {
+  if (at < now_) {
+    at = now_;
+  }
+  const EventId id = next_seq_ + 1;
+  heap_.push(Entry{at, next_seq_, id});
+  ++next_seq_;
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) { callbacks_.erase(id); }
+
+bool EventQueue::Empty() const { return callbacks_.empty(); }
+
+size_t EventQueue::pending() const { return callbacks_.size(); }
+
+uint64_t EventQueue::RunUntil(SimTime until) {
+  stopped_ = false;
+  uint64_t executed = 0;
+  while (!stopped_ && !heap_.empty()) {
+    const Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // Cancelled.
+      continue;
+    }
+    if (top.at > until) {
+      break;
+    }
+    heap_.pop();
+    now_ = top.at;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    cb();
+    ++executed;
+  }
+  if (now_ < until && heap_.empty()) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace bullet

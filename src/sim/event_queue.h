@@ -1,0 +1,67 @@
+// Discrete-event core. A binary heap of (time, sequence)-ordered callbacks; the
+// sequence number makes execution order deterministic among same-time events.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace bullet {
+
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` at absolute simulated time `at` (clamped to now). Returns an id
+  // usable with Cancel().
+  EventId Schedule(SimTime at, Callback cb);
+  EventId ScheduleAfter(SimTime delay, Callback cb) { return Schedule(now_ + delay, cb); }
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(EventId id);
+
+  bool Empty() const;
+  size_t pending() const;
+
+  // Runs events until the queue is empty, `until` is passed, or Stop() is called.
+  // Returns the number of events executed.
+  uint64_t RunUntil(SimTime until);
+
+  // Requests RunUntil to return after the current event completes.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    uint64_t seq;
+    EventId id;
+    // Heap entries are ordered earliest-first; ties broken by insertion order.
+    bool operator>(const Entry& o) const {
+      if (at != o.at) {
+        return at > o.at;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,43 @@
+#include "src/sim/metrics.h"
+
+namespace bullet {
+
+std::vector<double> RunMetrics::CompletionSeconds(NodeId exclude, double incomplete_value) const {
+  std::vector<double> out;
+  out.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (static_cast<NodeId>(i) == exclude) {
+      continue;
+    }
+    const NodeMetrics& m = nodes_[i];
+    if (m.completion >= 0) {
+      out.push_back(SimToSec(m.completion));
+    } else if (incomplete_value >= 0.0) {
+      out.push_back(incomplete_value);
+    }
+  }
+  return out;
+}
+
+double RunMetrics::DuplicateFraction() const {
+  int64_t useful = 0;
+  int64_t dup = 0;
+  for (const auto& m : nodes_) {
+    useful += m.useful_blocks;
+    dup += m.duplicate_blocks;
+  }
+  const int64_t total = useful + dup;
+  return total > 0 ? static_cast<double>(dup) / static_cast<double>(total) : 0.0;
+}
+
+double RunMetrics::ControlOverheadFraction() const {
+  int64_t ctrl = 0;
+  int64_t total = 0;
+  for (const auto& m : nodes_) {
+    ctrl += m.ctrl_bytes_in;
+    total += m.ctrl_bytes_in + m.data_bytes_in + m.dup_bytes_in;
+  }
+  return total > 0 ? static_cast<double>(ctrl) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace bullet

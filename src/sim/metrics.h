@@ -1,0 +1,63 @@
+// Per-run metrics filled in by protocols. The experiment harness turns these into the
+// CDFs and tables reported by the paper.
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/sim/topology.h"
+
+namespace bullet {
+
+struct NodeMetrics {
+  SimTime completion = -1;  // -1 until the node holds the full file
+  int64_t useful_blocks = 0;
+  int64_t duplicate_blocks = 0;  // blocks received that were already held
+  int64_t data_bytes_in = 0;
+  int64_t dup_bytes_in = 0;
+  int64_t ctrl_bytes_in = 0;
+  int64_t ctrl_bytes_out = 0;
+  // Arrival time of every accepted block, recorded when RunMetrics::record_arrivals
+  // is set (Fig. 13 inter-arrival analysis).
+  std::vector<SimTime> block_arrivals;
+};
+
+class RunMetrics {
+ public:
+  explicit RunMetrics(int num_nodes) : nodes_(static_cast<size_t>(num_nodes)) {}
+
+  NodeMetrics& node(NodeId n) { return nodes_[static_cast<size_t>(n)]; }
+  const NodeMetrics& node(NodeId n) const { return nodes_[static_cast<size_t>(n)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  void RecordCompletion(NodeId n, SimTime t) {
+    NodeMetrics& m = node(n);
+    if (m.completion < 0) {
+      m.completion = t;
+      ++completed_;
+    }
+  }
+  int completed() const { return completed_; }
+
+  // Completion times in seconds for all nodes except `exclude` (the source). Nodes
+  // that never completed are reported at `incomplete_value` seconds if >= 0.
+  std::vector<double> CompletionSeconds(NodeId exclude, double incomplete_value = -1.0) const;
+
+  // duplicate_blocks / (useful + duplicate) over all nodes.
+  double DuplicateFraction() const;
+  // control bytes / total bytes received, over all nodes.
+  double ControlOverheadFraction() const;
+
+  bool record_arrivals = false;
+
+ private:
+  std::vector<NodeMetrics> nodes_;
+  int completed_ = 0;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_METRICS_H_

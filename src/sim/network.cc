@@ -1,0 +1,336 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sim/bandwidth_allocator.h"
+
+namespace bullet {
+
+Network::Network(Topology topology, NetworkConfig config, uint64_t seed)
+    : topology_(std::move(topology)),
+      config_(config),
+      rng_(seed),
+      handlers_(static_cast<size_t>(topology_.num_nodes()), nullptr),
+      tx_bytes_(static_cast<size_t>(topology_.num_nodes()), 0),
+      rx_bytes_(static_cast<size_t>(topology_.num_nodes()), 0),
+      failed_(static_cast<size_t>(topology_.num_nodes()), 0) {}
+
+void Network::SetHandler(NodeId node, NetHandler* handler) {
+  handlers_[static_cast<size_t>(node)] = handler;
+}
+
+Network::Conn* Network::GetConn(ConnId id) {
+  if (id < 0 || static_cast<size_t>(id) >= conns_.size()) {
+    return nullptr;
+  }
+  return conns_[static_cast<size_t>(id)].get();
+}
+
+const Network::Conn* Network::GetConn(ConnId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= conns_.size()) {
+    return nullptr;
+  }
+  return conns_[static_cast<size_t>(id)].get();
+}
+
+int Network::EndpointIndex(const Conn& c, NodeId node) {
+  if (c.node[0] == node) {
+    return 0;
+  }
+  if (c.node[1] == node) {
+    return 1;
+  }
+  return -1;
+}
+
+ConnId Network::Connect(NodeId from, NodeId to) {
+  if (from == to || IsNodeFailed(from) || IsNodeFailed(to)) {
+    return -1;
+  }
+  const ConnId id = static_cast<ConnId>(conns_.size());
+  auto conn = std::make_unique<Conn>();
+  conn->node[0] = from;
+  conn->node[1] = to;
+  conns_.push_back(std::move(conn));
+  open_conns_.push_back(id);
+
+  // TCP three-way handshake plus the first application-level write.
+  const SimTime established_at = now() + topology_.Rtt(from, to) * 3 / 2;
+  queue_.Schedule(established_at, [this, id] {
+    Conn* c = GetConn(id);
+    if (c == nullptr || c->closed) {
+      return;
+    }
+    c->established = true;
+    for (int i = 0; i < 2; ++i) {
+      if (!c->dir[i].queue.empty()) {
+        c->dir[i].tcp.OnBecameActive(now(), config_.tcp);
+      } else {
+        c->dir[i].idle_since = now();
+      }
+    }
+    for (int i = 0; i < 2; ++i) {
+      NetHandler* h = handlers_[static_cast<size_t>(c->node[i])];
+      if (h != nullptr) {
+        h->OnConnUp(id, c->node[1 - i], /*initiator=*/i == 0);
+      }
+    }
+  });
+  return id;
+}
+
+void Network::Close(ConnId conn_id) {
+  Conn* c = GetConn(conn_id);
+  if (c == nullptr || c->closed) {
+    return;
+  }
+  c->closed = true;
+  for (auto& dir : c->dir) {
+    dir.queue.clear();
+    dir.queued_bytes = 0;
+    dir.rate_bps = 0.0;
+  }
+  // Notify both ends asynchronously; the remote end hears after one path delay.
+  for (int i = 0; i < 2; ++i) {
+    const NodeId endpoint = c->node[i];
+    const NodeId peer = c->node[1 - i];
+    const SimTime at = i == 0 ? now() : now() + topology_.PathDelay(c->node[0], c->node[1]);
+    queue_.Schedule(at, [this, conn_id, endpoint, peer] {
+      NetHandler* h = handlers_[static_cast<size_t>(endpoint)];
+      if (h != nullptr) {
+        h->OnConnDown(conn_id, peer);
+      }
+    });
+  }
+}
+
+bool Network::IsOpen(ConnId conn_id) const {
+  const Conn* c = GetConn(conn_id);
+  return c != nullptr && !c->closed;
+}
+
+bool Network::Send(ConnId conn_id, NodeId from, std::unique_ptr<Message> msg) {
+  Conn* c = GetConn(conn_id);
+  if (c == nullptr || c->closed || msg == nullptr) {
+    return false;
+  }
+  const int idx = EndpointIndex(*c, from);
+  if (idx < 0) {
+    return false;
+  }
+  Direction& dir = c->dir[idx];
+  if (dir.queue.empty() && c->established) {
+    dir.tcp.OnBecameActive(now(), config_.tcp);
+  }
+  dir.queued_bytes += msg->wire_bytes;
+  const double bytes = static_cast<double>(std::max<int64_t>(msg->wire_bytes, 1));
+  dir.queue.push_back(QueuedMsg{std::move(msg), bytes});
+  return true;
+}
+
+size_t Network::QueuedMessages(ConnId conn_id, NodeId from) const {
+  const Conn* c = GetConn(conn_id);
+  if (c == nullptr) {
+    return 0;
+  }
+  const int idx = EndpointIndex(*c, from);
+  return idx < 0 ? 0 : c->dir[idx].queue.size();
+}
+
+int64_t Network::QueuedBytes(ConnId conn_id, NodeId from) const {
+  const Conn* c = GetConn(conn_id);
+  if (c == nullptr) {
+    return 0;
+  }
+  const int idx = EndpointIndex(*c, from);
+  return idx < 0 ? 0 : c->dir[idx].queued_bytes;
+}
+
+SimTime Network::IdleTime(ConnId conn_id, NodeId from) const {
+  const Conn* c = GetConn(conn_id);
+  if (c == nullptr) {
+    return 0;
+  }
+  const int idx = EndpointIndex(*c, from);
+  if (idx < 0 || !c->dir[idx].queue.empty()) {
+    return 0;
+  }
+  return now() - c->dir[idx].idle_since;
+}
+
+double Network::CurrentRateBps(ConnId conn_id, NodeId from) const {
+  const Conn* c = GetConn(conn_id);
+  if (c == nullptr) {
+    return 0.0;
+  }
+  const int idx = EndpointIndex(*c, from);
+  return idx < 0 ? 0.0 : c->dir[idx].rate_bps;
+}
+
+void Network::FailNode(NodeId node) {
+  if (IsNodeFailed(node)) {
+    return;
+  }
+  failed_[static_cast<size_t>(node)] = 1;
+  for (const ConnId id : open_conns_) {
+    const Conn* c = GetConn(id);
+    if (c != nullptr && !c->closed && (c->node[0] == node || c->node[1] == node)) {
+      Close(id);
+    }
+  }
+}
+
+void Network::ScheduleTick() {
+  tick_scheduled_ = true;
+  queue_.ScheduleAfter(config_.quantum, [this] { Tick(); });
+}
+
+void Network::Tick() {
+  const SimTime dt = now() - last_tick_;
+  last_tick_ = now();
+  const double dt_sec = SimToSec(dt);
+
+  // Compact closed connections out of the open list.
+  for (size_t i = 0; i < open_conns_.size();) {
+    const Conn* c = GetConn(open_conns_[i]);
+    if (c == nullptr || c->closed) {
+      open_conns_[i] = open_conns_.back();
+      open_conns_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+
+  // Build the active flow set. Link ids: uplink(n) = n, downlink(n) = N + n, core
+  // links assigned densely on demand.
+  const int n = topology_.num_nodes();
+  std::vector<FlowSpec> flows;
+  std::vector<std::pair<ConnId, int>> flow_dirs;
+  std::vector<double> capacities(static_cast<size_t>(2 * n));
+  for (NodeId i = 0; i < n; ++i) {
+    capacities[static_cast<size_t>(i)] = topology_.uplink(i).bandwidth_bps;
+    capacities[static_cast<size_t>(n + i)] = topology_.downlink(i).bandwidth_bps;
+  }
+  std::unordered_map<int64_t, int32_t> core_ids;
+  for (const ConnId id : open_conns_) {
+    Conn* c = GetConn(id);
+    if (!c->established) {
+      continue;
+    }
+    for (int i = 0; i < 2; ++i) {
+      Direction& dir = c->dir[i];
+      if (dir.queue.empty()) {
+        dir.rate_bps = 0.0;
+        continue;
+      }
+      const NodeId src = c->node[i];
+      const NodeId dst = c->node[1 - i];
+      const int64_t key = static_cast<int64_t>(src) * n + dst;
+      auto [it, inserted] = core_ids.emplace(key, static_cast<int32_t>(capacities.size()));
+      if (inserted) {
+        capacities.push_back(topology_.core(src, dst).bandwidth_bps);
+      }
+      FlowSpec flow;
+      flow.links[0] = src;
+      flow.links[1] = static_cast<int32_t>(n) + dst;
+      flow.links[2] = it->second;
+      flow.cap_bps = TcpRateCapBps(dir.tcp, now(), topology_.Rtt(src, dst),
+                                   topology_.PathLoss(src, dst), config_.tcp);
+      flows.push_back(flow);
+      flow_dirs.emplace_back(id, i);
+    }
+  }
+
+  AllocateMaxMin(flows, capacities);
+
+  // Advance transmissions.
+  for (size_t fi = 0; fi < flows.size(); ++fi) {
+    const auto [conn_id, dir_idx] = flow_dirs[fi];
+    Conn* c = GetConn(conn_id);
+    if (c == nullptr || c->closed) {
+      continue;
+    }
+    Direction& dir = c->dir[dir_idx];
+    dir.rate_bps = flows[fi].rate_bps;
+    dir.tcp.last_busy = now();
+    double budget = dir.rate_bps / 8.0 * dt_sec;
+    while (!dir.queue.empty() && budget >= dir.queue.front().remaining_bytes) {
+      QueuedMsg qm = std::move(dir.queue.front());
+      dir.queue.pop_front();
+      budget -= qm.remaining_bytes;
+      dir.queued_bytes -= qm.msg->wire_bytes;
+      tx_bytes_[static_cast<size_t>(c->node[dir_idx])] += qm.msg->wire_bytes;
+      EnqueueDelivery(conn_id, *c, dir_idx, std::move(qm.msg));
+      // `c` may have been invalidated by conns_ growth inside callbacks? Delivery is
+      // scheduled, not synchronous, so no reentrancy happens here.
+    }
+    if (!dir.queue.empty()) {
+      dir.queue.front().remaining_bytes -= budget;
+    } else {
+      dir.idle_since = now();
+      dir.rate_bps = 0.0;
+    }
+  }
+
+  ScheduleTick();
+}
+
+void Network::EnqueueDelivery(ConnId conn_id, Conn& c, int sender_idx, std::unique_ptr<Message> msg) {
+  const NodeId src = c.node[sender_idx];
+  const NodeId dst = c.node[1 - sender_idx];
+  Direction& dir = c.dir[sender_idx];
+
+  SimTime delivered_at = now() + topology_.PathDelay(src, dst);
+  if (config_.loss_latency) {
+    const double p = topology_.PathLoss(src, dst);
+    if (p > 0.0) {
+      const double packets =
+          std::max(1.0, std::ceil(static_cast<double>(msg->wire_bytes) / config_.tcp.mss_bytes));
+      const double p_msg = 1.0 - std::pow(1.0 - p, packets);
+      if (rng_.Bernoulli(p_msg)) {
+        // Fast retransmit in the common case; occasionally a full RTO.
+        const SimTime rtt = topology_.Rtt(src, dst);
+        SimTime penalty = rtt + rtt / 2;
+        if (rng_.Bernoulli(0.2)) {
+          penalty = std::max<SimTime>(MsToSim(200), 2 * rtt);
+        }
+        delivered_at += penalty;
+      }
+    }
+  }
+  delivered_at = std::max(delivered_at, dir.delivery_floor);
+  dir.delivery_floor = delivered_at;
+
+  auto holder = std::make_shared<std::unique_ptr<Message>>(std::move(msg));
+  const int receiver_idx = 1 - sender_idx;
+  queue_.Schedule(delivered_at, [this, conn_id, receiver_idx, holder] {
+    DeliverMessage(conn_id, receiver_idx, std::move(*holder));
+  });
+}
+
+void Network::DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<Message> msg) {
+  Conn* c = GetConn(conn_id);
+  if (c == nullptr || c->closed || msg == nullptr) {
+    return;
+  }
+  const NodeId receiver = c->node[receiver_idx];
+  const NodeId sender = c->node[1 - receiver_idx];
+  rx_bytes_[static_cast<size_t>(receiver)] += msg->wire_bytes;
+  NetHandler* h = handlers_[static_cast<size_t>(receiver)];
+  if (h != nullptr) {
+    h->OnMessage(conn_id, sender, std::move(msg));
+  }
+}
+
+void Network::Run(SimTime until) {
+  if (!tick_scheduled_) {
+    ScheduleTick();
+  }
+  queue_.RunUntil(until);
+}
+
+}  // namespace bullet

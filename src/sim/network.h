@@ -1,0 +1,161 @@
+// The emulated network: reliable, ordered, byte-accounted connections between overlay
+// nodes, with bandwidth shared max-min across all concurrently active flows and TCP
+// behaviour approximated per flow (see tcp_model.h).
+//
+// Protocols interact with the network exclusively through:
+//   Connect / Close  — connection lifecycle (establishment costs 1.5 RTT, like TCP
+//                      handshake plus first application write),
+//   Send             — enqueue a typed message on a connection,
+//   NetHandler       — callbacks for connection up/down and message delivery.
+//
+// Every `quantum` of simulated time the network recomputes flow rates (a flow is a
+// connection direction with queued bytes) and advances transmissions. Completed
+// messages are delivered after the path's propagation delay, plus a retransmission
+// penalty drawn from the path loss rate; deliveries on one direction are in order.
+
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/tcp_model.h"
+#include "src/sim/time.h"
+#include "src/sim/topology.h"
+
+namespace bullet {
+
+using ConnId = int64_t;
+
+// Base class for all protocol messages. `wire_bytes` must include the protocol's own
+// header estimate; the network charges exactly this many bytes of link bandwidth.
+struct Message {
+  virtual ~Message() = default;
+  int type = 0;
+  int64_t wire_bytes = 0;
+};
+
+class NetHandler {
+ public:
+  virtual ~NetHandler() = default;
+  // `initiator` is true at the node that called Connect().
+  virtual void OnConnUp(ConnId conn, NodeId peer, bool initiator) {}
+  virtual void OnConnDown(ConnId conn, NodeId peer) {}
+  virtual void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) = 0;
+};
+
+struct NetworkConfig {
+  SimTime quantum = MsToSim(10);
+  TcpModelParams tcp;
+  // Model the extra delivery latency of messages that suffer packet loss (TCP
+  // retransmission + head-of-line blocking). Throughput loss is modelled separately
+  // via the Mathis cap; this term affects message latency, which is what makes
+  // availability information stale on lossy paths (Section 4.3).
+  bool loss_latency = true;
+};
+
+class Network {
+ public:
+  Network(Topology topology, NetworkConfig config, uint64_t seed);
+
+  EventQueue& queue() { return queue_; }
+  SimTime now() const { return queue_.now(); }
+  Topology& topology() { return topology_; }
+  Rng& rng() { return rng_; }
+  int num_nodes() const { return topology_.num_nodes(); }
+
+  void SetHandler(NodeId node, NetHandler* handler);
+
+  // Opens a connection from `from` to `to`. Both ends receive OnConnUp after
+  // establishment. Messages may be sent immediately; they queue until established.
+  ConnId Connect(NodeId from, NodeId to);
+
+  // Closes the connection. The remote end receives OnConnDown after one path delay;
+  // all queued and in-flight messages are dropped.
+  void Close(ConnId conn);
+  bool IsOpen(ConnId conn) const;
+
+  // Enqueues a message from `from` on the connection. Returns false (and drops) if
+  // the connection is closed or `from` is not an endpoint.
+  bool Send(ConnId conn, NodeId from, std::unique_ptr<Message> msg);
+
+  // Fails the node: every connection touching it closes (peers learn through
+  // OnConnDown after the usual delay) and future Connect() calls involving it are
+  // refused. Used by churn experiments; a failed node's protocol object survives but
+  // is cut off. Idempotent.
+  void FailNode(NodeId node);
+  bool IsNodeFailed(NodeId node) const { return failed_[static_cast<size_t>(node)] != 0; }
+
+  // Introspection used by protocol flow control (Bullet' measures its send queue to
+  // report `in_front` and `wasted`, Section 3.3.3).
+  size_t QueuedMessages(ConnId conn, NodeId from) const;
+  int64_t QueuedBytes(ConnId conn, NodeId from) const;
+  // Time since this direction last transmitted its final queued byte; 0 if busy.
+  SimTime IdleTime(ConnId conn, NodeId from) const;
+  // Most recent allocated rate for this direction, bits/second.
+  double CurrentRateBps(ConnId conn, NodeId from) const;
+
+  // Per-node totals (all message kinds), counted at transmission completion.
+  int64_t node_bytes_sent(NodeId n) const { return tx_bytes_[static_cast<size_t>(n)]; }
+  int64_t node_bytes_received(NodeId n) const { return rx_bytes_[static_cast<size_t>(n)]; }
+
+  // Runs the simulation until `until` or Stop().
+  void Run(SimTime until);
+  void Stop() { queue_.Stop(); }
+
+ private:
+  struct QueuedMsg {
+    std::unique_ptr<Message> msg;
+    double remaining_bytes = 0.0;
+  };
+
+  struct Direction {
+    std::deque<QueuedMsg> queue;
+    int64_t queued_bytes = 0;
+    double rate_bps = 0.0;
+    TcpFlowState tcp;
+    SimTime delivery_floor = 0;  // enforces in-order delivery
+    SimTime idle_since = 0;      // valid when queue is empty
+  };
+
+  struct Conn {
+    NodeId node[2] = {-1, -1};
+    Direction dir[2];  // dir[i] carries node[i] -> node[1-i]
+    bool established = false;
+    bool closed = false;
+  };
+
+  Conn* GetConn(ConnId id);
+  const Conn* GetConn(ConnId id) const;
+  // Returns 0 or 1: which endpoint `node` is; -1 if neither.
+  static int EndpointIndex(const Conn& c, NodeId node);
+
+  void ScheduleTick();
+  void Tick();
+  void DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<Message> msg);
+  void EnqueueDelivery(ConnId conn_id, Conn& c, int sender_idx, std::unique_ptr<Message> msg);
+
+  Topology topology_;
+  NetworkConfig config_;
+  Rng rng_;
+  EventQueue queue_;
+
+  std::vector<NetHandler*> handlers_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // indexed by ConnId, never reused
+  std::vector<ConnId> open_conns_;            // compacted lazily during ticks
+
+  std::vector<int64_t> tx_bytes_;
+  std::vector<int64_t> rx_bytes_;
+  std::vector<char> failed_;
+
+  SimTime last_tick_ = 0;
+  bool tick_scheduled_ = false;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_NETWORK_H_

@@ -1,0 +1,22 @@
+// Simulated time. All emulator timestamps are int64 microseconds from simulation
+// start. Conversions are explicit to keep units visible at call sites.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace bullet {
+
+using SimTime = int64_t;  // microseconds
+
+constexpr SimTime kMicrosPerMilli = 1000;
+constexpr SimTime kMicrosPerSec = 1000 * 1000;
+
+constexpr SimTime MsToSim(int64_t ms) { return ms * kMicrosPerMilli; }
+constexpr SimTime SecToSim(double sec) { return static_cast<SimTime>(sec * 1e6); }
+constexpr double SimToSec(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_TIME_H_

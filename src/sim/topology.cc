@@ -1,0 +1,109 @@
+#include "src/sim/topology.h"
+
+namespace bullet {
+
+Topology::Topology(int num_nodes)
+    : num_nodes_(num_nodes),
+      uplinks_(static_cast<size_t>(num_nodes)),
+      downlinks_(static_cast<size_t>(num_nodes)),
+      core_(static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes)) {}
+
+SimTime Topology::PathDelay(NodeId src, NodeId dst) const {
+  return uplink(src).delay + core(src, dst).delay + downlink(dst).delay;
+}
+
+SimTime Topology::Rtt(NodeId src, NodeId dst) const {
+  return PathDelay(src, dst) + PathDelay(dst, src);
+}
+
+double Topology::PathLoss(NodeId src, NodeId dst) const {
+  const double p_core = core(src, dst).loss_rate;
+  const double p_up = uplink(src).loss_rate;
+  const double p_down = downlink(dst).loss_rate;
+  return 1.0 - (1.0 - p_core) * (1.0 - p_up) * (1.0 - p_down);
+}
+
+Topology Topology::FullMesh(const MeshParams& params, Rng& rng) {
+  Topology topo(params.num_nodes);
+  for (NodeId n = 0; n < params.num_nodes; ++n) {
+    topo.uplink(n) = LinkParams{params.access_bps, params.access_delay, 0.0};
+    topo.downlink(n) = LinkParams{params.access_bps, params.access_delay, 0.0};
+  }
+  for (NodeId s = 0; s < params.num_nodes; ++s) {
+    for (NodeId d = 0; d < params.num_nodes; ++d) {
+      if (s == d) {
+        continue;
+      }
+      LinkParams& link = topo.core(s, d);
+      link.bandwidth_bps = params.core_bps;
+      link.delay = rng.UniformInt(params.core_delay_min, params.core_delay_max);
+      link.loss_rate = rng.UniformDouble(params.core_loss_min, params.core_loss_max);
+    }
+  }
+  return topo;
+}
+
+Topology Topology::ConstrainedAccess(int num_nodes, Rng& rng) {
+  Topology topo(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    topo.uplink(n) = LinkParams{800e3, MsToSim(1), 0.0};
+    topo.downlink(n) = LinkParams{800e3, MsToSim(1), 0.0};
+  }
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) {
+        continue;
+      }
+      topo.core(s, d) = LinkParams{10e6, MsToSim(1), 0.0};
+    }
+  }
+  return topo;
+}
+
+Topology Topology::Uniform(int num_nodes, double link_bps, SimTime link_delay, double loss_min,
+                           double loss_max, Rng& rng) {
+  Topology topo(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    // Ample access links so the uniform core links are the constraint.
+    topo.uplink(n) = LinkParams{10.0 * link_bps, MsToSim(0), 0.0};
+    topo.downlink(n) = LinkParams{10.0 * link_bps, MsToSim(0), 0.0};
+  }
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) {
+        continue;
+      }
+      LinkParams& link = topo.core(s, d);
+      link.bandwidth_bps = link_bps;
+      link.delay = link_delay;
+      link.loss_rate = loss_min >= loss_max ? loss_min : rng.UniformDouble(loss_min, loss_max);
+    }
+  }
+  return topo;
+}
+
+Topology Topology::WideArea(int num_nodes, Rng& rng) {
+  Topology topo(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    // Heterogeneous site uplinks; downstream usually a bit faster than upstream.
+    const double up = rng.UniformDouble(1e6, 20e6);
+    const double down = up * rng.UniformDouble(1.0, 2.0);
+    topo.uplink(n) = LinkParams{up, MsToSim(1), 0.0};
+    topo.downlink(n) = LinkParams{down, MsToSim(1), 0.0};
+  }
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) {
+        continue;
+      }
+      LinkParams& link = topo.core(s, d);
+      // Wide-area paths: rarely the bottleneck but occasionally congested.
+      link.bandwidth_bps = rng.UniformDouble(5e6, 50e6);
+      link.delay = rng.UniformInt(MsToSim(5), MsToSim(200));
+      link.loss_rate = rng.UniformDouble(0.0, 0.01);
+    }
+  }
+  return topo;
+}
+
+}  // namespace bullet

@@ -1,0 +1,91 @@
+// Emulated topologies.
+//
+// The paper's ModelNet setup is a fully interconnected mesh: every overlay node has a
+// dedicated inbound and outbound access link, and every ordered node pair has its own
+// core link with independently chosen bandwidth, propagation delay and loss rate. We
+// model exactly that: a flow from s to d traverses s's uplink, core(s, d), and d's
+// downlink. Builders cover every topology used in the evaluation (Sections 4.1-4.7).
+
+#ifndef SRC_SIM_TOPOLOGY_H_
+#define SRC_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace bullet {
+
+using NodeId = int32_t;
+
+struct LinkParams {
+  double bandwidth_bps = 0.0;  // capacity in bits/second
+  SimTime delay = 0;           // one-way propagation delay
+  double loss_rate = 0.0;      // independent packet loss probability
+};
+
+class Topology {
+ public:
+  Topology(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+
+  LinkParams& uplink(NodeId n) { return uplinks_[static_cast<size_t>(n)]; }
+  LinkParams& downlink(NodeId n) { return downlinks_[static_cast<size_t>(n)]; }
+  LinkParams& core(NodeId src, NodeId dst) {
+    return core_[static_cast<size_t>(src) * static_cast<size_t>(num_nodes_) +
+                 static_cast<size_t>(dst)];
+  }
+  const LinkParams& uplink(NodeId n) const { return uplinks_[static_cast<size_t>(n)]; }
+  const LinkParams& downlink(NodeId n) const { return downlinks_[static_cast<size_t>(n)]; }
+  const LinkParams& core(NodeId src, NodeId dst) const {
+    return core_[static_cast<size_t>(src) * static_cast<size_t>(num_nodes_) +
+                 static_cast<size_t>(dst)];
+  }
+
+  // One-way path delay s->d and round-trip time s->d->s.
+  SimTime PathDelay(NodeId src, NodeId dst) const;
+  SimTime Rtt(NodeId src, NodeId dst) const;
+  // End-to-end loss probability on the s->d path (access links are lossless in the
+  // paper's setup; loss lives on core links).
+  double PathLoss(NodeId src, NodeId dst) const;
+
+  // --- Builders for the paper's experimental topologies ---
+
+  struct MeshParams {
+    int num_nodes = 100;
+    double access_bps = 6e6;        // 6 Mbps access links (Section 4.1)
+    double core_bps = 2e6;          // 2 Mbps nominal core links
+    SimTime access_delay = MsToSim(1);
+    SimTime core_delay_min = MsToSim(5);
+    SimTime core_delay_max = MsToSim(200);
+    double core_loss_min = 0.0;     // loss chosen uniformly per core link
+    double core_loss_max = 0.03;    // 0-3% (Section 4.1)
+  };
+  // The Section 4.1 topology: full mesh, randomized core delays and losses.
+  static Topology FullMesh(const MeshParams& params, Rng& rng);
+
+  // The Section 4.4 "constrained access" topology: ample core (10 Mbps / 1 ms,
+  // lossless), 800 Kbps access links.
+  static Topology ConstrainedAccess(int num_nodes, Rng& rng);
+
+  // The Section 4.5 topology: uniform links of the given bandwidth/latency between
+  // all pairs (modelled as ample access and uniform core), optional random core loss.
+  static Topology Uniform(int num_nodes, double link_bps, SimTime link_delay,
+                          double loss_min, double loss_max, Rng& rng);
+
+  // A synthetic wide-area (PlanetLab stand-in) topology for Section 4.7: per-node
+  // access bandwidth 1-20 Mbps, core RTTs 10-400 ms, light random loss.
+  static Topology WideArea(int num_nodes, Rng& rng);
+
+ private:
+  int num_nodes_;
+  std::vector<LinkParams> uplinks_;
+  std::vector<LinkParams> downlinks_;
+  std::vector<LinkParams> core_;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_TOPOLOGY_H_

@@ -1,0 +1,157 @@
+// Unit and small-integration tests for the three comparison systems.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/bittorrent.h"
+#include "src/baselines/bullet_legacy.h"
+#include "src/baselines/splitstream.h"
+#include "src/baselines/stripe_forest.h"
+#include "src/harness/experiment.h"
+
+namespace bullet {
+namespace {
+
+Topology SmallMesh(int n, uint64_t seed, double loss_max = 0.0) {
+  Rng rng(seed);
+  Topology::MeshParams mesh;
+  mesh.num_nodes = n;
+  mesh.core_loss_max = loss_max;
+  return Topology::FullMesh(mesh, rng);
+}
+
+// ---------------- StripeForest ----------------
+
+TEST(StripeForest, InteriorDisjointInvariant) {
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    const StripeForest forest = StripeForest::Build(100, 8, 0, rng);
+    EXPECT_TRUE(forest.InteriorDisjoint(0)) << "seed " << seed;
+  }
+}
+
+TEST(StripeForest, EveryNodeAttachedInEveryStripe) {
+  Rng rng(4);
+  const StripeForest forest = StripeForest::Build(64, 8, 0, rng);
+  for (const auto& tree : forest.trees) {
+    int attached = 0;
+    for (NodeId n = 0; n < 64; ++n) {
+      if (tree.parent[static_cast<size_t>(n)] >= 0 || n == 0) {
+        ++attached;
+      }
+    }
+    EXPECT_EQ(attached, 64);
+    EXPECT_EQ(tree.subtree_size[0], 64);
+  }
+}
+
+TEST(StripeForest, BoundedDepth) {
+  Rng rng(5);
+  const StripeForest forest = StripeForest::Build(100, 8, 0, rng);
+  EXPECT_LE(forest.MaxDepth(), 6);
+}
+
+TEST(StripeForest, SmallSwarm) {
+  Rng rng(6);
+  const StripeForest forest = StripeForest::Build(4, 8, 0, rng);
+  EXPECT_TRUE(forest.InteriorDisjoint(0));
+  for (const auto& tree : forest.trees) {
+    EXPECT_EQ(tree.subtree_size[0], 4);
+  }
+}
+
+// ---------------- end-to-end completion ----------------
+
+FileParams SmallFile(bool encoded) {
+  FileParams file;
+  file.block_bytes = 16 * 1024;
+  file.num_blocks = 64;  // 1 MB
+  file.encoded = encoded;
+  return file;
+}
+
+TEST(BitTorrentSystem, SwarmCompletes) {
+  ExperimentParams params;
+  params.seed = 31;
+  params.file = SmallFile(false);
+  params.deadline = SecToSim(600.0);
+  Experiment exp(SmallMesh(16, 31), params);
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree*) {
+    return std::make_unique<BitTorrent>(ctx, params.file, params.source, BitTorrentConfig{});
+  });
+  EXPECT_EQ(metrics.completed(), 15);
+  EXPECT_LT(metrics.DuplicateFraction(), 0.02);
+}
+
+TEST(BitTorrentSystem, UnchokeSlotsBounded) {
+  ExperimentParams params;
+  params.seed = 32;
+  params.file = SmallFile(false);
+  params.deadline = SecToSim(45.0);  // stop mid-download
+  Experiment exp(SmallMesh(20, 32), params);
+  std::vector<BitTorrent*> protos;
+  exp.Run([&](const Protocol::Context& ctx, const ControlTree*) {
+    auto p = std::make_unique<BitTorrent>(ctx, params.file, params.source, BitTorrentConfig{});
+    protos.push_back(p.get());
+    return p;
+  });
+  const BitTorrentConfig config;
+  for (const auto* p : protos) {
+    EXPECT_LE(p->num_unchoked(), config.unchoke_slots + 1);  // + optimistic
+  }
+}
+
+TEST(BulletLegacySystem, SwarmCompletesEncoded) {
+  ExperimentParams params;
+  params.seed = 33;
+  params.file = SmallFile(true);  // the paper runs Bullet as source-encoded
+  params.deadline = SecToSim(600.0);
+  Experiment exp(SmallMesh(16, 33), params);
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+    return std::make_unique<BulletLegacy>(ctx, params.file, params.source, tree,
+                                          BulletLegacyConfig{});
+  });
+  EXPECT_EQ(metrics.completed(), 15);
+}
+
+TEST(SplitStreamSystem, SwarmCompletesEncoded) {
+  ExperimentParams params;
+  params.seed = 34;
+  params.file = SmallFile(true);
+  params.deadline = SecToSim(900.0);
+  Experiment exp(SmallMesh(16, 34), params);
+  Rng forest_rng(34);
+  const StripeForest forest = StripeForest::Build(16, 8, 0, forest_rng);
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree*) {
+    return std::make_unique<SplitStream>(ctx, params.file, params.source, &forest,
+                                         SplitStreamConfig{});
+  });
+  EXPECT_EQ(metrics.completed(), 15);
+  // Push-only trees generate no request/diff traffic at all.
+  EXPECT_LT(metrics.ControlOverheadFraction(), 0.01);
+}
+
+TEST(SplitStreamSystem, SlowInteriorStarvesOnlyItsStripe) {
+  // Throttle every core link out of one interior node; receivers still complete
+  // because the other stripes keep flowing (the encoded stream needs any 1.04n).
+  ExperimentParams params;
+  params.seed = 35;
+  params.file = SmallFile(true);
+  params.deadline = SecToSim(1800.0);
+  Topology topo = SmallMesh(16, 35);
+  for (NodeId d = 0; d < 16; ++d) {
+    if (d != 1) {
+      topo.core(1, d).bandwidth_bps = 50e3;  // node 1 is interior in one stripe only
+    }
+  }
+  Experiment exp(std::move(topo), params);
+  Rng forest_rng(35);
+  const StripeForest forest = StripeForest::Build(16, 8, 0, forest_rng);
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree*) {
+    return std::make_unique<SplitStream>(ctx, params.file, params.source, &forest,
+                                         SplitStreamConfig{});
+  });
+  EXPECT_EQ(metrics.completed(), 15);
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,171 @@
+#include "src/codec/lt_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/codec/degree_distribution.h"
+#include "src/common/rng.h"
+
+namespace bullet {
+namespace {
+
+std::vector<uint8_t> RandomFile(size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(bytes);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+TEST(RobustSoliton, PmfSumsToOne) {
+  for (const uint32_t n : {16u, 100u, 1000u}) {
+    RobustSoliton rs(n);
+    double total = 0.0;
+    for (uint32_t d = 1; d <= n; ++d) {
+      total += rs.pmf(d);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(RobustSoliton, DegreeOneHasMass) {
+  RobustSoliton rs(1000);
+  // The robust correction guarantees a healthy supply of degree-1 blocks — the
+  // paper notes decoding cannot start without them.
+  EXPECT_GT(rs.pmf(1), 0.005);
+}
+
+TEST(RobustSoliton, DegreeTwoDominates) {
+  RobustSoliton rs(1000);
+  // Ideal soliton: rho(2) = 1/2; robust keeps degree 2 the modal degree.
+  for (uint32_t d = 3; d <= 10; ++d) {
+    EXPECT_GT(rs.pmf(2), rs.pmf(d));
+  }
+}
+
+TEST(RobustSoliton, SamplesInRange) {
+  RobustSoliton rs(500);
+  Rng rng(1);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t d = rs.Sample(rng);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 500u);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 20000.0, rs.expected_degree(), rs.expected_degree() * 0.1);
+}
+
+TEST(Composition, DeterministicAndDistinct) {
+  RobustSoliton rs(256);
+  const auto a = EncodedComposition(42, 256, rs, 7);
+  const auto b = EncodedComposition(42, 256, rs, 7);
+  EXPECT_EQ(a, b);
+  const auto c = EncodedComposition(43, 256, rs, 7);
+  EXPECT_TRUE(a != c || a.size() != c.size());
+  // Indices are distinct and sorted.
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LT(a[i - 1], a[i]);
+  }
+}
+
+TEST(Encoder, PadsShortFiles) {
+  LtEncoder enc(RandomFile(1000, 1), 256);
+  EXPECT_EQ(enc.num_blocks(), 4u);  // 1000 -> 1024 padded
+  EXPECT_EQ(enc.Encode(0).size(), 256u);
+}
+
+// Parameterized roundtrip: (num source blocks, block bytes, seed).
+class LtRoundtrip : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LtRoundtrip, DecodesWithBoundedOverhead) {
+  const auto [blocks, block_bytes, seed] = GetParam();
+  const size_t file_bytes = static_cast<size_t>(blocks) * static_cast<size_t>(block_bytes);
+  const auto file = RandomFile(file_bytes, static_cast<uint64_t>(seed));
+
+  LtEncoder enc(file, static_cast<size_t>(block_bytes));
+  LtDecoder dec(enc.num_blocks(), static_cast<size_t>(block_bytes));
+
+  uint32_t sent = 0;
+  while (!dec.complete() && sent < enc.num_blocks() * 3) {
+    dec.AddEncoded(sent, enc.Encode(sent));
+    ++sent;
+  }
+  ASSERT_TRUE(dec.complete()) << "decode failed after 3n blocks";
+  EXPECT_EQ(dec.Reconstruct(static_cast<int64_t>(file_bytes)), file);
+
+  // Reception overhead: the paper reports ~4%; small n needs more slack, so bound
+  // loosely but meaningfully.
+  const double overhead =
+      static_cast<double>(sent) / static_cast<double>(enc.num_blocks()) - 1.0;
+  EXPECT_LT(overhead, 0.60) << "sent=" << sent << " n=" << enc.num_blocks();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LtRoundtrip,
+    ::testing::Values(std::make_tuple(16, 64, 1), std::make_tuple(64, 64, 2),
+                      std::make_tuple(100, 256, 3), std::make_tuple(256, 128, 4),
+                      std::make_tuple(500, 64, 5), std::make_tuple(1000, 32, 6),
+                      std::make_tuple(1000, 32, 7), std::make_tuple(2000, 16, 8)));
+
+TEST(LtDecoder, ProgressCurveShowsDecodeCliff) {
+  // "Even with n received blocks, only ~30 percent of the file content can be
+  // reconstructed" — the decode-progress curve must be heavily back-loaded.
+  const uint32_t n = 1000;
+  LtEncoder enc(RandomFile(n * 32, 9), 32);
+  LtDecoder dec(n, 32);
+  for (uint32_t id = 0; !dec.complete() && id < 3 * n; ++id) {
+    dec.AddEncoded(id, enc.Encode(id));
+  }
+  ASSERT_TRUE(dec.complete());
+  const auto& progress = dec.progress();
+  ASSERT_GE(progress.size(), n);
+  const double at_n = static_cast<double>(progress[n - 1]) / n;
+  EXPECT_LT(at_n, 0.75) << "decoding completed suspiciously early";
+  const double at_80pct = static_cast<double>(progress[static_cast<size_t>(0.8 * n)]) / n;
+  EXPECT_LT(at_80pct, 0.35);
+}
+
+TEST(LtDecoder, DuplicateBlocksAreHarmless) {
+  const uint32_t n = 64;
+  LtEncoder enc(RandomFile(n * 64, 10), 64);
+  LtDecoder dec(n, 64);
+  for (uint32_t id = 0; !dec.complete() && id < 3 * n; ++id) {
+    dec.AddEncoded(id, enc.Encode(id));
+    dec.AddEncoded(id, enc.Encode(id));  // duplicate feed
+  }
+  EXPECT_TRUE(dec.complete());
+  EXPECT_EQ(dec.Reconstruct(), std::vector<uint8_t>(RandomFile(n * 64, 10)));
+}
+
+TEST(LtDecoder, OutOfOrderDelivery) {
+  const uint32_t n = 128;
+  const auto file = RandomFile(n * 32, 11);
+  LtEncoder enc(file, 32);
+  LtDecoder dec(n, 32);
+  // Feed ids in a scrambled order (mesh delivery is not sequential).
+  std::vector<uint32_t> ids;
+  for (uint32_t id = 0; id < 3 * n; ++id) {
+    ids.push_back(id);
+  }
+  Rng rng(12);
+  rng.Shuffle(ids);
+  for (const uint32_t id : ids) {
+    if (dec.complete()) {
+      break;
+    }
+    dec.AddEncoded(id, enc.Encode(id));
+  }
+  ASSERT_TRUE(dec.complete());
+  EXPECT_EQ(dec.Reconstruct(static_cast<int64_t>(file.size())), file);
+}
+
+TEST(LtDecoder, ReconstructIncompleteReturnsEmpty) {
+  LtDecoder dec(64, 32);
+  EXPECT_TRUE(dec.Reconstruct().empty());
+}
+
+}  // namespace
+}  // namespace bullet

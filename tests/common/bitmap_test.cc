@@ -1,0 +1,136 @@
+#include "src/common/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace bullet {
+namespace {
+
+TEST(Bitmap, EmptyDefaults) {
+  Bitmap b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.full());  // vacuously: count == size == 0
+  EXPECT_FALSE(b.Test(0));
+}
+
+TEST(Bitmap, SetAndTest) {
+  Bitmap b(100);
+  EXPECT_TRUE(b.Set(5));
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_FALSE(b.Set(5));  // already set
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_FALSE(b.Test(6));
+}
+
+TEST(Bitmap, OutOfRangeIsSafe) {
+  Bitmap b(10);
+  EXPECT_FALSE(b.Set(10));
+  EXPECT_FALSE(b.Set(1000));
+  EXPECT_FALSE(b.Test(1000));
+  b.Clear(1000);  // no-op
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitmap, ClearAndCount) {
+  Bitmap b(64);
+  for (size_t i = 0; i < 64; i += 2) {
+    b.Set(i);
+  }
+  EXPECT_EQ(b.count(), 32u);
+  b.Clear(0);
+  b.Clear(2);
+  b.Clear(3);  // not set; no effect
+  EXPECT_EQ(b.count(), 30u);
+  b.ClearAll();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.Test(4));
+}
+
+TEST(Bitmap, WordBoundaries) {
+  for (const size_t size : {1u, 63u, 64u, 65u, 128u, 129u}) {
+    Bitmap b(size);
+    for (size_t i = 0; i < size; ++i) {
+      EXPECT_TRUE(b.Set(i)) << size << ":" << i;
+    }
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.FirstClear(), size);
+  }
+}
+
+TEST(Bitmap, FirstClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.FirstClear(), 0u);
+  for (size_t i = 0; i < 70; ++i) {
+    b.Set(i);
+  }
+  EXPECT_EQ(b.FirstClear(), 70u);
+  b.Clear(3);
+  EXPECT_EQ(b.FirstClear(), 3u);
+}
+
+TEST(Bitmap, SetBits) {
+  Bitmap b(200);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(199);
+  const auto bits = b.SetBits();
+  EXPECT_EQ(bits, (std::vector<uint32_t>{0, 63, 64, 199}));
+}
+
+TEST(Bitmap, DiffFrom) {
+  Bitmap a(100);
+  Bitmap b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  const auto diff = a.DiffFrom(b);
+  EXPECT_EQ(diff, (std::vector<uint32_t>{1, 99}));
+  EXPECT_TRUE(b.DiffFrom(a).empty());
+}
+
+TEST(Bitmap, DiffFromDifferentSizes) {
+  Bitmap a(128);
+  Bitmap b(64);
+  a.Set(100);
+  a.Set(10);
+  b.Set(10);
+  const auto diff = a.DiffFrom(b);
+  EXPECT_EQ(diff, (std::vector<uint32_t>{100}));
+}
+
+TEST(Bitmap, IntersectCount) {
+  Bitmap a(100);
+  Bitmap b(100);
+  for (size_t i = 0; i < 100; i += 3) {
+    a.Set(i);
+  }
+  for (size_t i = 0; i < 100; i += 5) {
+    b.Set(i);
+  }
+  size_t expected = 0;
+  for (size_t i = 0; i < 100; i += 15) {
+    ++expected;
+  }
+  EXPECT_EQ(a.IntersectCount(b), expected);
+}
+
+TEST(Bitmap, WireBytes) {
+  EXPECT_EQ(Bitmap(0).WireBytes(), 8u);
+  EXPECT_EQ(Bitmap(8).WireBytes(), 9u);
+  EXPECT_EQ(Bitmap(6400).WireBytes(), 8u + 800u);
+}
+
+TEST(Bitmap, ResizeResets) {
+  Bitmap b(10);
+  b.Set(3);
+  b.Resize(20);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.Test(3));
+  EXPECT_EQ(b.size(), 20u);
+}
+
+}  // namespace
+}  // namespace bullet

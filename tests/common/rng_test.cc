@@ -1,0 +1,174 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace bullet {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.UniformInt(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntUnbiased) {
+  // Chi-square over 16 buckets at 3 sigma-ish tolerance.
+  Rng rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<size_t>(rng.UniformInt(0, kBuckets - 1))];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 degrees of freedom; P(chi2 > 37.7) ~ 0.001.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, UniformDoubleRange) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = rng.Exponential(2.5);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kSamples, 2.5, 0.05);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, SampleSizeAndMembership) {
+  Rng rng(17);
+  std::vector<int> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(i);
+  }
+  const auto sample = rng.Sample(v, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  for (const int x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 50);
+  }
+}
+
+TEST(Rng, SampleLargerThanInput) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3};
+  const auto sample = rng.Sample(v, 10);
+  EXPECT_EQ(sample.size(), 3u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.Next() == child2.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix, KnownSequenceAdvancesState) {
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64(state);
+  const uint64_t second = SplitMix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,212 @@
+// Exhaustive tests of the paper's pseudocode: Fig. 2 (ManageSenders hill-climbing),
+// the 1.5-sigma trim, and Fig. 3 (the XCP-derived outstanding-window controller).
+
+#include "src/core/adaptation.h"
+
+#include <gtest/gtest.h>
+
+namespace bullet {
+namespace {
+
+constexpr int kMin = 6;
+constexpr int kMax = 25;
+
+TEST(ManageMaxPeers, NoAdjustmentWhileBelowMax) {
+  PeerSetState state;
+  state.max_peers = 10;
+  // Still ramping up (7 < 10): MAX unchanged, history recorded.
+  EXPECT_EQ(ManageMaxPeers(state, 7, 1e6, kMin, kMax), 10);
+  EXPECT_EQ(state.num_prev, 7);
+  EXPECT_DOUBLE_EQ(state.prev_bw, 1e6);
+}
+
+TEST(ManageMaxPeers, FirstFullEpochProbesUp) {
+  PeerSetState state;
+  state.max_peers = 10;
+  state.num_prev = 0;  // "try to add a new peer by default"
+  EXPECT_EQ(ManageMaxPeers(state, 10, 1e6, kMin, kMax), 11);
+}
+
+TEST(ManageMaxPeers, GrowthThatHelpedKeepsGrowing) {
+  PeerSetState state;
+  state.max_peers = 11;
+  state.num_prev = 10;
+  state.prev_bw = 1e6;
+  EXPECT_EQ(ManageMaxPeers(state, 11, 2e6, kMin, kMax), 12);
+}
+
+TEST(ManageMaxPeers, GrowthThatHurtBacksOff) {
+  PeerSetState state;
+  state.max_peers = 11;
+  state.num_prev = 10;
+  state.prev_bw = 2e6;
+  EXPECT_EQ(ManageMaxPeers(state, 11, 1e6, kMin, kMax), 10);
+}
+
+TEST(ManageMaxPeers, ShrinkThatHelpedKeepsShrinking) {
+  PeerSetState state;
+  state.max_peers = 9;
+  state.num_prev = 10;
+  state.prev_bw = 1e6;
+  EXPECT_EQ(ManageMaxPeers(state, 9, 2e6, kMin, kMax), 8);
+}
+
+TEST(ManageMaxPeers, ShrinkThatHurtGrowsBack) {
+  PeerSetState state;
+  state.max_peers = 9;
+  state.num_prev = 10;
+  state.prev_bw = 2e6;
+  EXPECT_EQ(ManageMaxPeers(state, 9, 1e6, kMin, kMax), 10);
+}
+
+TEST(ManageMaxPeers, EqualSizeNoChange) {
+  PeerSetState state;
+  state.max_peers = 10;
+  state.num_prev = 10;
+  state.prev_bw = 1e6;
+  EXPECT_EQ(ManageMaxPeers(state, 10, 5e6, kMin, kMax), 10);
+}
+
+TEST(ManageMaxPeers, HardClamps) {
+  PeerSetState state;
+  state.max_peers = kMax;
+  state.num_prev = 0;
+  EXPECT_EQ(ManageMaxPeers(state, kMax, 1e6, kMin, kMax), kMax);
+
+  PeerSetState low;
+  low.max_peers = kMin;
+  low.num_prev = kMin + 1;
+  low.prev_bw = 1e6;
+  // Losing a sender made us faster -> try losing another, but clamp at min.
+  EXPECT_EQ(ManageMaxPeers(low, kMin, 2e6, kMin, kMax), kMin);
+}
+
+TEST(TrimIndices, EmptyAndSmall) {
+  EXPECT_TRUE(TrimIndices({}, 1.5, 6).empty());
+  EXPECT_TRUE(TrimIndices({1.0, 2.0, 3.0}, 1.5, 6).empty());  // at or below min_keep
+}
+
+TEST(TrimIndices, EqualMetricsTrimNothing) {
+  // "If all of a peer's senders are approximately equal... none should be closed."
+  const std::vector<double> equal(10, 5.0);
+  EXPECT_TRUE(TrimIndices(equal, 1.5, 6).empty());
+}
+
+TEST(TrimIndices, OutlierBelowCutoffTrimmed) {
+  // Nine healthy senders and one stalled one.
+  std::vector<double> metric(9, 100.0);
+  metric.push_back(0.0);
+  const auto trimmed = TrimIndices(metric, 1.5, 6);
+  ASSERT_EQ(trimmed.size(), 1u);
+  EXPECT_EQ(trimmed[0], 9u);
+}
+
+TEST(TrimIndices, RespectsMinKeep) {
+  // Seven entries, six must stay, even though several fall below the cutoff.
+  std::vector<double> metric = {100, 100, 100, 100, 0.0, 0.0, 0.0};
+  const auto trimmed = TrimIndices(metric, 0.5, 6);
+  EXPECT_LE(trimmed.size(), 1u);
+}
+
+TEST(TrimIndices, WorstFirst) {
+  std::vector<double> metric = {100, 100, 100, 100, 100, 100, 100, 2.0, 1.0};
+  const auto trimmed = TrimIndices(metric, 1.5, 6);
+  ASSERT_EQ(trimmed.size(), 2u);
+  EXPECT_EQ(trimmed[0], 8u);  // the very worst goes first
+  EXPECT_EQ(trimmed[1], 7u);
+}
+
+TEST(TrimIndices, StddevScalesCutoff) {
+  // A single outlier among ten otherwise-equal peers has a z-score of exactly 3
+  // (population sigma), whatever its magnitude: trimmed at 1 sigma, kept at 3.5.
+  std::vector<double> metric = {10, 10, 10, 10, 10, 10, 10, 10, 10, 4.0};
+  EXPECT_EQ(TrimIndices(metric, 1.0, 6).size(), 1u);
+  EXPECT_TRUE(TrimIndices(metric, 3.5, 6).empty());
+}
+
+// ---------- Fig. 3 ----------
+
+OutstandingParams Params() { return OutstandingParams{}; }
+
+TEST(ManageOutstanding, IdlePipeGrowsWindow) {
+  // wasted < 0: the sender sat idle; window must grow, and increases take ceil().
+  const double d = ManageOutstanding(/*requested=*/3, /*in_front=*/0,
+                                     /*wasted_sec=*/-0.5, /*bandwidth=*/128 * 1024,
+                                     /*block=*/16 * 1024, Params());
+  // 3 + 1 + 0.4 * 0.5 * 8 = 5.6 -> ceil -> 6.
+  EXPECT_DOUBLE_EQ(d, 6.0);
+}
+
+TEST(ManageOutstanding, QueuedServiceTimeShrinksWindow) {
+  // wasted > 0 and in_front <= 1: mild positive service time trims the window.
+  const double d = ManageOutstanding(5, 1.0, 0.8, 128 * 1024, 16 * 1024, Params());
+  // 5 + 1 - 0.4 * 0.8 * 8 = 3.44 (decrease: no ceil).
+  EXPECT_NEAR(d, 3.44, 1e-9);
+}
+
+TEST(ManageOutstanding, DeepQueueUsesBetaTerm) {
+  // wasted <= 0 but several blocks queued in front: beta term drains the queue.
+  const double d = ManageOutstanding(5, 4.0, 0.0, 128 * 1024, 16 * 1024, Params());
+  // 5 + 1 - 0.226 * 3 = 5.322 -> it's below requested+1 but above requested; the
+  // implementation ceils only when desired > requested: 5.322 > 5 -> ceil -> 6.
+  EXPECT_DOUBLE_EQ(d, 6.0);
+}
+
+TEST(ManageOutstanding, PositiveWastedWithDeepQueueNotDoubleCounted) {
+  // wasted > 0 and in_front > 1: the positive service time already includes the time
+  // to drain the in_front blocks, so NEITHER correction applies (the paper takes
+  // care not to double count): desired stays at requested + 1.
+  const double with_queue = ManageOutstanding(5, 4.0, 1.0, 128 * 1024, 16 * 1024, Params());
+  EXPECT_DOUBLE_EQ(with_queue, 6.0);
+  // Whereas the same positive wasted with a shallow queue does shrink the window.
+  const double no_queue = ManageOutstanding(5, 1.0, 1.0, 128 * 1024, 16 * 1024, Params());
+  EXPECT_LT(no_queue, with_queue);
+}
+
+TEST(ManageOutstanding, ClampsToBounds) {
+  OutstandingParams p;
+  p.min_outstanding = 1.0;
+  p.max_outstanding = 50.0;
+  EXPECT_DOUBLE_EQ(ManageOutstanding(2, 0.0, 5.0, 1024 * 1024, 16 * 1024, p), 1.0);
+  EXPECT_DOUBLE_EQ(ManageOutstanding(49, 0, -10.0, 10e6, 16 * 1024, p), 50.0);
+}
+
+TEST(ManageOutstanding, ClosedLoopConvergesToPipePlusOne) {
+  // Closed-loop model of a pipe holding kBdp blocks in flight: any window beyond the
+  // BDP queues at the sender (in_front), and "requested" counts only the requests
+  // not yet queued for service. The controller must settle near BDP + 1 — one block
+  // in front of the socket buffer — rather than run away or collapse.
+  OutstandingParams p;
+  const double bw = 256 * 1024;  // bytes/sec
+  const double block = 16 * 1024;
+  constexpr double kBdp = 8.0;
+  double window = 3.0;
+  for (int i = 0; i < 300; ++i) {
+    const double in_front = std::max(0.0, window - kBdp);
+    const double wasted = in_front > 0 ? in_front * block / bw : -0.05;  // idle gap
+    const double requested = window - in_front;
+    window = ManageOutstanding(requested, in_front, wasted, bw, block, p);
+  }
+  EXPECT_GE(window, kBdp);        // fills the pipe
+  EXPECT_LE(window, kBdp + 4.0);  // without hoarding a deep queue
+}
+
+TEST(ManageOutstanding, CollapsesAfterBandwidthDrop) {
+  // The Fig. 12 scenario: a sender's path collapses to 100 Kbps, so nearly the whole
+  // window piles up in front of its socket buffer. With `requested` counting only
+  // the requests not yet queued for service, one marked block is enough to pull the
+  // window down to the new, tiny pipe.
+  OutstandingParams p;
+  const double block = 16 * 1024;
+  const double slow_bw = 12.5 * 1024;  // 100 Kbps in bytes/sec
+  double window = 30.0;
+  const double in_front = window - 1.0;              // pipe now holds ~1 block
+  const double wasted = in_front * block / slow_bw;  // long queue wait
+  const double requested = window - in_front;
+  window = ManageOutstanding(requested, in_front, wasted, slow_bw, block, p);
+  EXPECT_LE(window, 3.0);
+  EXPECT_GE(window, 1.0);
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,150 @@
+// Protocol-level tests of Bullet' running on the real emulator: source gating,
+// fixed-window mode, post-completion behaviour, and waste bounds.
+
+#include "src/core/bullet_prime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/harness/experiment.h"
+
+namespace bullet {
+namespace {
+
+struct Swarm {
+  std::unique_ptr<Experiment> exp;
+  std::vector<BulletPrime*> protos;
+  RunMetrics metrics{0};
+};
+
+Swarm RunSwarm(int nodes, uint32_t blocks, const BulletPrimeConfig& config, double deadline_sec,
+               uint64_t seed = 44) {
+  Rng topo_rng(seed);
+  Topology::MeshParams mesh;
+  mesh.num_nodes = nodes;
+  mesh.core_loss_max = 0.0;
+  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  ExperimentParams params;
+  params.seed = seed;
+  params.file.num_blocks = blocks;
+  params.deadline = SecToSim(deadline_sec);
+  Swarm swarm;
+  swarm.exp = std::make_unique<Experiment>(std::move(topo), params);
+  swarm.metrics = swarm.exp->Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+    auto p = std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, config);
+    swarm.protos.push_back(p.get());
+    return p;
+  });
+  return swarm;
+}
+
+TEST(BulletPrimeProtocol, SourceHidesUntilFullPass) {
+  // Stop mid-push: the source must not yet advertise (push_done false) and must have
+  // no mesh senders of its own.
+  BulletPrimeConfig config;
+  Swarm swarm = RunSwarm(10, 512, config, /*deadline_sec=*/4.0);
+  EXPECT_FALSE(swarm.protos[0]->push_done());
+  EXPECT_EQ(swarm.protos[0]->num_senders(), 0);
+}
+
+TEST(BulletPrimeProtocol, SourcePushCompletesAndAdvertises) {
+  BulletPrimeConfig config;
+  Swarm swarm = RunSwarm(10, 64, config, /*deadline_sec=*/600.0);
+  EXPECT_TRUE(swarm.protos[0]->push_done());
+  EXPECT_EQ(swarm.metrics.completed(), 9);
+}
+
+TEST(BulletPrimeProtocol, CompletedNodesDropTheirSenders) {
+  BulletPrimeConfig config;
+  Swarm swarm = RunSwarm(12, 64, config, 600.0);
+  ASSERT_EQ(swarm.metrics.completed(), 11);
+  for (size_t n = 1; n < swarm.protos.size(); ++n) {
+    EXPECT_EQ(swarm.protos[n]->num_senders(), 0) << "node " << n;
+  }
+}
+
+TEST(BulletPrimeProtocol, FixedOutstandingStaysFixed) {
+  BulletPrimeConfig config;
+  config.dynamic_outstanding = false;
+  config.fixed_outstanding = 4;
+  Swarm swarm = RunSwarm(10, 96, config, 600.0);
+  EXPECT_EQ(swarm.metrics.completed(), 9);
+  // desired_ is never updated in fixed mode; every sender entry retains the fixed
+  // window (senders close on completion, so probe a mid-run state instead).
+  BulletPrimeConfig probe_config = config;
+  Swarm mid = RunSwarm(10, 2048, probe_config, 8.0);
+  bool saw_sender = false;
+  for (auto* p : mid.protos) {
+    for (const auto& d : p->DebugSenders()) {
+      saw_sender = true;
+      EXPECT_DOUBLE_EQ(d.desired, 4.0);
+      EXPECT_LE(d.outstanding, 4);
+    }
+  }
+  EXPECT_TRUE(saw_sender);
+}
+
+TEST(BulletPrimeProtocol, PeerCountsRespectHardBounds) {
+  BulletPrimeConfig config;
+  Swarm swarm = RunSwarm(30, 1024, config, 12.0);  // stop mid-download
+  for (auto* p : swarm.protos) {
+    EXPECT_LE(p->num_senders(), config.max_peers);
+    EXPECT_LE(p->num_receivers(), config.max_peers);
+    EXPECT_GE(p->max_senders(), config.min_peers);
+    EXPECT_LE(p->max_senders(), config.max_peers);
+  }
+}
+
+TEST(BulletPrimeProtocol, NoDuplicateBlocksWithoutChurn) {
+  // The request path (global requested-set + per-sender candidates) must never fetch
+  // a block twice in a loss-free, churn-free run.
+  BulletPrimeConfig config;
+  Swarm swarm = RunSwarm(16, 128, config, 600.0);
+  ASSERT_EQ(swarm.metrics.completed(), 15);
+  for (NodeId n = 0; n < 16; ++n) {
+    EXPECT_EQ(swarm.metrics.node(n).duplicate_blocks, 0) << "node " << n;
+  }
+}
+
+TEST(BulletPrimeProtocol, EncodedModeUsesOverheadRule) {
+  BulletPrimeConfig config;
+  Rng topo_rng(45);
+  Topology::MeshParams mesh;
+  mesh.num_nodes = 10;
+  mesh.core_loss_max = 0.0;
+  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  ExperimentParams params;
+  params.seed = 45;
+  params.file.num_blocks = 100;
+  params.file.encoded = true;
+  params.deadline = SecToSim(900.0);
+  Experiment exp(std::move(topo), params);
+  std::vector<BulletPrime*> protos;
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+    auto p = std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, config);
+    protos.push_back(p.get());
+    return p;
+  });
+  ASSERT_EQ(metrics.completed(), 9);
+  for (size_t n = 1; n < protos.size(); ++n) {
+    // Complete at (1 + 4%) * n distinct encoded blocks. Tree children of the source
+    // keep receiving pushed blocks after completing, so counts may exceed the
+    // threshold but never undershoot it.
+    EXPECT_GE(protos[n]->have().count(), 104u) << "node " << n;
+    EXPECT_GE(metrics.node(static_cast<NodeId>(n)).completion, 0) << "node " << n;
+  }
+  // Non-children of the source stop pulling at exactly the completion threshold.
+  bool checked_non_child = false;
+  for (size_t n = 1; n < protos.size(); ++n) {
+    const auto& kids = exp.tree().children[0];
+    if (std::find(kids.begin(), kids.end(), static_cast<NodeId>(n)) == kids.end()) {
+      EXPECT_EQ(protos[n]->have().count(), 104u) << "node " << n;
+      checked_non_child = true;
+    }
+  }
+  EXPECT_TRUE(checked_non_child);
+}
+
+}  // namespace
+}  // namespace bullet

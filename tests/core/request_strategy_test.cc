@@ -1,0 +1,188 @@
+#include "src/core/request_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace bullet {
+namespace {
+
+const CandidateSet::ValidFn kAlwaysValid = [](uint32_t) { return true; };
+const CandidateSet::RarityFn kFlatRarity = [](uint32_t) { return 1; };
+
+TEST(CandidateSet, EmptyPicksNothing) {
+  CandidateSet cs;
+  Rng rng(1);
+  for (const auto strategy :
+       {RequestStrategy::kFirstEncountered, RequestStrategy::kRandom, RequestStrategy::kRarest,
+        RequestStrategy::kRarestRandom}) {
+    EXPECT_FALSE(cs.Pick(strategy, kAlwaysValid, kFlatRarity, rng).has_value());
+  }
+}
+
+TEST(CandidateSet, FirstEncounteredPreservesDiscoveryOrder) {
+  CandidateSet cs;
+  Rng rng(2);
+  for (const uint32_t id : {5u, 3u, 9u, 1u}) {
+    cs.Add(id);
+  }
+  EXPECT_EQ(cs.Pick(RequestStrategy::kFirstEncountered, kAlwaysValid, kFlatRarity, rng), 5u);
+  EXPECT_EQ(cs.Pick(RequestStrategy::kFirstEncountered, kAlwaysValid, kFlatRarity, rng), 3u);
+  EXPECT_EQ(cs.Pick(RequestStrategy::kFirstEncountered, kAlwaysValid, kFlatRarity, rng), 9u);
+  EXPECT_EQ(cs.Pick(RequestStrategy::kFirstEncountered, kAlwaysValid, kFlatRarity, rng), 1u);
+}
+
+TEST(CandidateSet, FirstEncounteredSkipsInvalid) {
+  CandidateSet cs;
+  Rng rng(3);
+  for (uint32_t id = 0; id < 10; ++id) {
+    cs.Add(id);
+  }
+  const auto odd_only = [](uint32_t id) { return id % 2 == 1; };
+  EXPECT_EQ(cs.Pick(RequestStrategy::kFirstEncountered, odd_only, kFlatRarity, rng), 1u);
+  EXPECT_EQ(cs.Pick(RequestStrategy::kFirstEncountered, odd_only, kFlatRarity, rng), 3u);
+}
+
+TEST(CandidateSet, RandomCoversAllCandidates) {
+  CandidateSet cs;
+  Rng rng(4);
+  std::set<uint32_t> expected;
+  for (uint32_t id = 0; id < 20; ++id) {
+    cs.Add(id);
+    expected.insert(id);
+  }
+  std::set<uint32_t> picked;
+  while (true) {
+    const auto p = cs.Pick(RequestStrategy::kRandom, kAlwaysValid, kFlatRarity, rng);
+    if (!p.has_value()) {
+      break;
+    }
+    EXPECT_TRUE(picked.insert(*p).second) << "duplicate pick";
+  }
+  EXPECT_EQ(picked, expected);
+}
+
+TEST(CandidateSet, RandomIsActuallyRandom) {
+  // First pick across many fresh sets should not always be the same id.
+  std::map<uint32_t, int> first_pick;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    CandidateSet cs;
+    Rng rng(seed);
+    for (uint32_t id = 0; id < 10; ++id) {
+      cs.Add(id);
+    }
+    first_pick[*cs.Pick(RequestStrategy::kRandom, kAlwaysValid, kFlatRarity, rng)]++;
+  }
+  EXPECT_GT(first_pick.size(), 3u);
+}
+
+TEST(CandidateSet, RarestPicksMinimumRarity) {
+  CandidateSet cs;
+  Rng rng(5);
+  for (uint32_t id = 0; id < 30; ++id) {
+    cs.Add(id);
+  }
+  const auto rarity = [](uint32_t id) { return id == 17 ? 1 : 5; };
+  EXPECT_EQ(cs.Pick(RequestStrategy::kRarest, kAlwaysValid, rarity, rng), 17u);
+}
+
+TEST(CandidateSet, RarestBreaksTiesDeterministically) {
+  // All equal rarity: plain rarest always picks the lowest id — the deterministic
+  // herd behaviour the paper calls out as a flaw.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    CandidateSet cs;
+    Rng rng(seed);
+    for (const uint32_t id : {7u, 3u, 12u, 9u}) {
+      cs.Add(id);
+    }
+    EXPECT_EQ(cs.Pick(RequestStrategy::kRarest, kAlwaysValid, kFlatRarity, rng), 3u);
+  }
+}
+
+TEST(CandidateSet, RarestRandomBreaksTiesRandomly) {
+  std::map<uint32_t, int> first_pick;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    CandidateSet cs;
+    Rng rng(seed);
+    for (uint32_t id = 0; id < 10; ++id) {
+      cs.Add(id);
+    }
+    first_pick[*cs.Pick(RequestStrategy::kRarestRandom, kAlwaysValid, kFlatRarity, rng)]++;
+  }
+  EXPECT_GT(first_pick.size(), 3u);
+}
+
+TEST(CandidateSet, RarestRandomStillPrefersRarity) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    CandidateSet cs;
+    Rng rng(seed);
+    for (uint32_t id = 0; id < 50; ++id) {
+      cs.Add(id);
+    }
+    const auto rarity = [](uint32_t id) { return id == 23 || id == 31 ? 1 : 4; };
+    const auto pick = cs.Pick(RequestStrategy::kRarestRandom, kAlwaysValid, rarity, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(*pick == 23 || *pick == 31) << *pick;
+  }
+}
+
+TEST(CandidateSet, StaleEntriesEventuallyCompacted) {
+  CandidateSet cs;
+  Rng rng(6);
+  for (uint32_t id = 0; id < 500; ++id) {
+    cs.Add(id);
+  }
+  // Invalidate everything except one needle; the sampled strategies must find it.
+  const auto only_250 = [](uint32_t id) { return id == 250; };
+  const auto pick = cs.Pick(RequestStrategy::kRarestRandom, only_250, kFlatRarity, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 250u);
+  EXPECT_FALSE(cs.Pick(RequestStrategy::kRarestRandom, only_250, kFlatRarity, rng).has_value());
+}
+
+TEST(CandidateSet, RunningDry) {
+  CandidateSet cs;
+  EXPECT_TRUE(cs.RunningDry(1, kAlwaysValid));
+  for (uint32_t id = 0; id < 5; ++id) {
+    cs.Add(id);
+  }
+  EXPECT_FALSE(cs.RunningDry(5, kAlwaysValid));
+  EXPECT_TRUE(cs.RunningDry(6, kAlwaysValid));
+  const auto none_valid = [](uint32_t) { return false; };
+  EXPECT_TRUE(cs.RunningDry(1, none_valid));
+}
+
+TEST(CandidateSet, ReaddMakesPickableAgain) {
+  CandidateSet cs;
+  Rng rng(7);
+  cs.Add(42);
+  EXPECT_EQ(cs.Pick(RequestStrategy::kRandom, kAlwaysValid, kFlatRarity, rng), 42u);
+  EXPECT_FALSE(cs.Pick(RequestStrategy::kRandom, kAlwaysValid, kFlatRarity, rng).has_value());
+  cs.Readd(42);
+  EXPECT_EQ(cs.Pick(RequestStrategy::kRandom, kAlwaysValid, kFlatRarity, rng), 42u);
+}
+
+TEST(CandidateSet, LargeSetSampledRarestFindsRareBlocks) {
+  // With 10k candidates the sampled strategies still find low-rarity blocks with
+  // high probability when they are not vanishingly rare.
+  CandidateSet cs;
+  Rng rng(8);
+  for (uint32_t id = 0; id < 10000; ++id) {
+    cs.Add(id);
+  }
+  // 5% of blocks are rare.
+  const auto rarity = [](uint32_t id) { return id % 20 == 0 ? 1 : 9; };
+  int rare_hits = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = cs.Pick(RequestStrategy::kRarestRandom, kAlwaysValid, rarity, rng);
+    ASSERT_TRUE(pick.has_value());
+    if (*pick % 20 == 0) {
+      ++rare_hits;
+    }
+  }
+  EXPECT_GT(rare_hits, 90);
+}
+
+}  // namespace
+}  // namespace bullet

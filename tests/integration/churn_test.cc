@@ -1,0 +1,102 @@
+// Resilience under node failures: the mesh must absorb peer deaths with bounded
+// slowdown — the paper's 1/n argument for mesh dissemination (Section 1).
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/core/bullet_prime.h"
+#include "src/harness/churn.h"
+#include "src/harness/experiment.h"
+
+namespace bullet {
+namespace {
+
+struct ChurnRun {
+  RunMetrics metrics{0};
+  int victims = 0;
+};
+
+ChurnRun RunWithChurn(int nodes, int kills, uint64_t seed) {
+  Rng topo_rng(seed);
+  Topology::MeshParams mesh;
+  mesh.num_nodes = nodes;
+  mesh.core_loss_max = 0.0;
+  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  ExperimentParams params;
+  params.seed = seed;
+  params.file.num_blocks = 640;  // 10 MB
+  params.deadline = SecToSim(1800.0);
+  Experiment exp(std::move(topo), params);
+
+  ChurnRun run;
+  if (kills > 0) {
+    Rng churn_rng(seed ^ 0xdead);
+    ChurnPlan plan = PlanLeafFailures(exp.tree(), params.source, kills, churn_rng);
+    run.victims = static_cast<int>(plan.victims.size());
+    ScheduleChurn(exp.net(), plan);
+  }
+  BulletPrimeConfig config;
+  run.metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+    return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, config);
+  });
+  return run;
+}
+
+TEST(Churn, FailNodeCutsConnections) {
+  Rng rng(3);
+  Topology topo = Topology::ConstrainedAccess(4, rng);
+  Network net(std::move(topo), NetworkConfig{}, 3);
+  const ConnId conn = net.Connect(0, 1);
+  net.Run(SecToSim(1.0));
+  ASSERT_TRUE(net.IsOpen(conn));
+  net.FailNode(1);
+  EXPECT_FALSE(net.IsOpen(conn));
+  EXPECT_TRUE(net.IsNodeFailed(1));
+  EXPECT_EQ(net.Connect(0, 1), -1);
+  EXPECT_EQ(net.Connect(1, 2), -1);
+  net.FailNode(1);  // idempotent
+  EXPECT_EQ(net.Connect(2, 3) >= 0, true);
+}
+
+TEST(Churn, PlanTargetsOnlyLeaves) {
+  Rng rng(5);
+  ControlTree tree = ControlTree::Random(50, 4, rng);
+  Rng churn_rng(6);
+  const ChurnPlan plan = PlanLeafFailures(tree, 0, 10, churn_rng);
+  EXPECT_EQ(plan.victims.size(), 10u);
+  for (const NodeId v : plan.victims) {
+    EXPECT_NE(v, 0);
+    EXPECT_TRUE(tree.children[static_cast<size_t>(v)].empty());
+  }
+}
+
+TEST(Churn, SurvivorsCompleteDespiteFailures) {
+  // Kill 6 of 29 receivers mid-download; every survivor must still finish.
+  const ChurnRun churned = RunWithChurn(30, 6, 77);
+  ASSERT_EQ(churned.victims, 6);
+  int survivors_done = 0;
+  for (NodeId n = 1; n < 30; ++n) {
+    if (churned.metrics.node(n).completion >= 0) {
+      ++survivors_done;
+    }
+  }
+  EXPECT_GE(survivors_done, 29 - 6);
+}
+
+TEST(Churn, SlowdownIsBounded) {
+  // The paper's 1/n argument: losing ~20% of peers costs far less than 2x.
+  const ChurnRun baseline = RunWithChurn(30, 0, 78);
+  const ChurnRun churned = RunWithChurn(30, 6, 78);
+  const double base_p90 = Percentile(baseline.metrics.CompletionSeconds(0), 0.9);
+  std::vector<double> survivor_times;
+  for (NodeId n = 1; n < 30; ++n) {
+    if (churned.metrics.node(n).completion >= 0) {
+      survivor_times.push_back(SimToSec(churned.metrics.node(n).completion));
+    }
+  }
+  ASSERT_GE(survivor_times.size(), 23u);
+  EXPECT_LT(Percentile(survivor_times, 0.9), base_p90 * 1.6);
+}
+
+}  // namespace
+}  // namespace bullet

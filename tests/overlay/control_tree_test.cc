@@ -1,0 +1,98 @@
+#include "src/overlay/control_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bullet {
+namespace {
+
+TEST(ControlTree, SingleNode) {
+  Rng rng(1);
+  ControlTree tree = ControlTree::Random(1, 4, rng);
+  EXPECT_TRUE(tree.IsRoot(0));
+  EXPECT_EQ(tree.subtree_size[0], 1);
+  EXPECT_TRUE(tree.children[0].empty());
+}
+
+TEST(ControlTree, AllNodesAttached) {
+  Rng rng(2);
+  ControlTree tree = ControlTree::Random(100, 4, rng);
+  int roots = 0;
+  for (NodeId n = 0; n < 100; ++n) {
+    if (tree.parent[static_cast<size_t>(n)] < 0) {
+      ++roots;
+      EXPECT_EQ(n, 0);
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_EQ(tree.subtree_size[0], 100);
+}
+
+TEST(ControlTree, FanoutBound) {
+  Rng rng(3);
+  const int fanout = 4;
+  ControlTree tree = ControlTree::Random(200, fanout, rng);
+  for (NodeId n = 0; n < 200; ++n) {
+    EXPECT_LE(tree.children[static_cast<size_t>(n)].size(), static_cast<size_t>(fanout));
+  }
+}
+
+TEST(ControlTree, ParentChildConsistency) {
+  Rng rng(4);
+  ControlTree tree = ControlTree::Random(60, 3, rng);
+  for (NodeId n = 0; n < 60; ++n) {
+    for (const NodeId c : tree.children[static_cast<size_t>(n)]) {
+      EXPECT_EQ(tree.parent[static_cast<size_t>(c)], n);
+    }
+  }
+}
+
+TEST(ControlTree, SubtreeSizesConsistent) {
+  Rng rng(5);
+  ControlTree tree = ControlTree::Random(80, 4, rng);
+  for (NodeId n = 0; n < 80; ++n) {
+    int sum = 1;
+    for (const NodeId c : tree.children[static_cast<size_t>(n)]) {
+      sum += tree.subtree_size[static_cast<size_t>(c)];
+    }
+    EXPECT_EQ(tree.subtree_size[static_cast<size_t>(n)], sum);
+  }
+}
+
+TEST(ControlTree, NoCycles) {
+  Rng rng(6);
+  ControlTree tree = ControlTree::Random(150, 4, rng);
+  for (NodeId n = 0; n < 150; ++n) {
+    std::set<NodeId> seen;
+    NodeId cur = n;
+    while (cur >= 0) {
+      EXPECT_TRUE(seen.insert(cur).second) << "cycle at node " << n;
+      cur = tree.parent[static_cast<size_t>(cur)];
+    }
+    EXPECT_TRUE(seen.count(0) == 1);  // all paths reach the root
+  }
+}
+
+TEST(ControlTree, DepthIsLogarithmicish) {
+  Rng rng(7);
+  ControlTree tree = ControlTree::Random(100, 4, rng);
+  int max_depth = 0;
+  for (NodeId n = 0; n < 100; ++n) {
+    max_depth = std::max(max_depth, tree.depth(n));
+  }
+  // A random tree with fanout 4 on 100 nodes should not degenerate into a chain.
+  EXPECT_LE(max_depth, 20);
+  EXPECT_GE(max_depth, 3);
+}
+
+TEST(ControlTree, DeterministicGivenSeed) {
+  Rng rng1(9);
+  Rng rng2(9);
+  ControlTree a = ControlTree::Random(50, 4, rng1);
+  ControlTree b = ControlTree::Random(50, 4, rng2);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,118 @@
+// Tests for the Fig. 15 baseline: N rsync clients against one server with K
+// admission slots, a shared server disk, and a shared uplink.
+
+#include "src/shotgun/rsync_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/sim/metrics.h"
+
+namespace bullet {
+namespace {
+
+struct Fleet {
+  std::unique_ptr<Network> net;
+  std::unique_ptr<RunMetrics> metrics;
+  std::vector<std::unique_ptr<Protocol>> protos;
+};
+
+Fleet RunFleet(int nodes, const RsyncFleetConfig& config, double deadline_sec,
+               uint64_t seed = 61) {
+  Fleet fleet;
+  Rng topo_rng(seed);
+  Topology topo = Topology::WideArea(nodes, topo_rng);
+  fleet.net = std::make_unique<Network>(std::move(topo), NetworkConfig{}, seed);
+  fleet.metrics = std::make_unique<RunMetrics>(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    Protocol::Context ctx;
+    ctx.self = n;
+    ctx.net = fleet.net.get();
+    ctx.metrics = fleet.metrics.get();
+    ctx.seed = seed + static_cast<uint64_t>(n);
+    if (n == 0) {
+      fleet.protos.push_back(std::make_unique<RsyncServer>(ctx, config));
+    } else {
+      fleet.protos.push_back(std::make_unique<RsyncClient>(ctx, 0, config));
+    }
+    fleet.net->SetHandler(n, fleet.protos.back().get());
+  }
+  for (auto& p : fleet.protos) {
+    p->Start();
+  }
+  fleet.net->Run(SecToSim(deadline_sec));
+  return fleet;
+}
+
+RsyncFleetConfig SmallUpdate() {
+  RsyncFleetConfig config;
+  config.max_parallel = 4;
+  config.sig_bytes = 200 * 1024;
+  config.delta_bytes = 2 * 1024 * 1024;
+  config.server_scan_bytes = 16 * 1024 * 1024;
+  config.replay_bytes = 4 * 1024 * 1024;
+  return config;
+}
+
+TEST(RsyncBaseline, AllClientsComplete) {
+  Fleet fleet = RunFleet(11, SmallUpdate(), 3600.0);
+  EXPECT_EQ(fleet.metrics->completed(), 10);
+}
+
+TEST(RsyncBaseline, AdmissionStaggersCompletions) {
+  // With 1 slot, completions serialize: the spread between first and last finisher
+  // must be roughly (N-1) * per-session time, far wider than with 8 slots.
+  RsyncFleetConfig config = SmallUpdate();
+  config.max_parallel = 1;
+  Fleet serial = RunFleet(9, config, 7200.0);
+  ASSERT_EQ(serial.metrics->completed(), 8);
+  const auto serial_times = serial.metrics->CompletionSeconds(0);
+
+  config.max_parallel = 8;
+  Fleet parallel = RunFleet(9, config, 7200.0);
+  ASSERT_EQ(parallel.metrics->completed(), 8);
+  const auto parallel_times = parallel.metrics->CompletionSeconds(0);
+
+  const double serial_spread =
+      Percentile(serial_times, 1.0) - Percentile(serial_times, 0.0);
+  const double parallel_spread =
+      Percentile(parallel_times, 1.0) - Percentile(parallel_times, 0.0);
+  EXPECT_GT(serial_spread, parallel_spread * 2.0);
+}
+
+TEST(RsyncBaseline, MoreParallelismHelpsUntilDiskSaturates) {
+  // 2 -> 8 slots should cut the last finisher's time; the shared disk prevents
+  // perfect scaling (the paper's observation that the disk is the constraint).
+  RsyncFleetConfig config = SmallUpdate();
+  config.max_parallel = 2;
+  Fleet two = RunFleet(17, config, 7200.0);
+  config.max_parallel = 8;
+  Fleet eight = RunFleet(17, config, 7200.0);
+  ASSERT_EQ(two.metrics->completed(), 16);
+  ASSERT_EQ(eight.metrics->completed(), 16);
+  const double last_two = Percentile(two.metrics->CompletionSeconds(0), 1.0);
+  const double last_eight = Percentile(eight.metrics->CompletionSeconds(0), 1.0);
+  EXPECT_LT(last_eight, last_two);
+  // Not a 4x speedup: the disk's FIFO serializes the scan phase.
+  EXPECT_GT(last_eight, last_two / 4.0);
+}
+
+TEST(RsyncBaseline, ReplayDelaysCompletionAfterDownload) {
+  RsyncFleetConfig config = SmallUpdate();
+  config.replay_bytes = 64 * 1024 * 1024;  // heavy replay
+  config.client_disk_Bps = 15e6;
+  Fleet fleet = RunFleet(5, config, 7200.0);
+  ASSERT_EQ(fleet.metrics->completed(), 4);
+  for (NodeId n = 1; n < 5; ++n) {
+    const auto* client = static_cast<RsyncClient*>(fleet.protos[static_cast<size_t>(n)].get());
+    ASSERT_GE(client->download_done_at(), 0);
+    const double gap_sec =
+        SimToSec(fleet.metrics->node(n).completion - client->download_done_at());
+    EXPECT_NEAR(gap_sec, 64.0 * 1024 * 1024 / 15e6, 0.5) << "node " << n;
+  }
+}
+
+}  // namespace
+}  // namespace bullet

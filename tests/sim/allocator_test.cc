@@ -1,0 +1,163 @@
+#include "src/sim/bandwidth_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace bullet {
+namespace {
+
+constexpr double kUnlimited = 1e12;
+
+FlowSpec MakeFlow(int32_t a, int32_t b, int32_t c, double cap = kUnlimited) {
+  FlowSpec f;
+  f.links[0] = a;
+  f.links[1] = b;
+  f.links[2] = c;
+  f.cap_bps = cap;
+  return f;
+}
+
+TEST(Allocator, SingleFlowGetsLinkCapacity) {
+  std::vector<FlowSpec> flows = {MakeFlow(0, -1, -1)};
+  AllocateMaxMin(flows, {10e6});
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 10e6);
+}
+
+TEST(Allocator, FairShareOnSharedLink) {
+  std::vector<FlowSpec> flows = {MakeFlow(0, -1, -1), MakeFlow(0, -1, -1), MakeFlow(0, -1, -1)};
+  AllocateMaxMin(flows, {9e6});
+  for (const auto& f : flows) {
+    EXPECT_NEAR(f.rate_bps, 3e6, 1.0);
+  }
+}
+
+TEST(Allocator, CapLimitedFlowReleasesShare) {
+  // Flow 0 capped at 1 Mbps; flow 1 takes the remaining 9.
+  std::vector<FlowSpec> flows = {MakeFlow(0, -1, -1, 1e6), MakeFlow(0, -1, -1)};
+  AllocateMaxMin(flows, {10e6});
+  EXPECT_NEAR(flows[0].rate_bps, 1e6, 1.0);
+  EXPECT_NEAR(flows[1].rate_bps, 9e6, 1.0);
+}
+
+TEST(Allocator, BottleneckElsewhereReleasesShare) {
+  // Flow 0 is bottlenecked by its narrow second link; flow 1 takes the rest.
+  std::vector<FlowSpec> flows = {MakeFlow(0, 1, -1), MakeFlow(0, -1, -1)};
+  AllocateMaxMin(flows, {10e6, 2e6});
+  EXPECT_NEAR(flows[0].rate_bps, 2e6, 1.0);
+  EXPECT_NEAR(flows[1].rate_bps, 8e6, 1.0);
+}
+
+TEST(Allocator, ClassicMaxMinExample) {
+  // Three links A=10, B=4, C=6. Flow0 crosses A,B; flow1 crosses B; flow2 crosses
+  // A,C. Max-min: B splits 2/2; flow2 gets min(10-2, 6) = 6.
+  std::vector<FlowSpec> flows = {MakeFlow(0, 1, -1), MakeFlow(1, -1, -1), MakeFlow(0, 2, -1)};
+  AllocateMaxMin(flows, {10e6, 4e6, 6e6});
+  EXPECT_NEAR(flows[0].rate_bps, 2e6, 1.0);
+  EXPECT_NEAR(flows[1].rate_bps, 2e6, 1.0);
+  EXPECT_NEAR(flows[2].rate_bps, 6e6, 1.0);
+}
+
+TEST(Allocator, NoLinksMeansCapRate) {
+  std::vector<FlowSpec> flows = {MakeFlow(-1, -1, -1, 5e6)};
+  AllocateMaxMin(flows, {});
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 5e6);
+}
+
+TEST(Allocator, ZeroCapacityLink) {
+  std::vector<FlowSpec> flows = {MakeFlow(0, -1, -1)};
+  AllocateMaxMin(flows, {0.0});
+  EXPECT_DOUBLE_EQ(flows[0].rate_bps, 0.0);
+}
+
+TEST(Allocator, EmptyFlows) {
+  std::vector<FlowSpec> flows;
+  AllocateMaxMin(flows, {10e6});  // must not crash
+}
+
+// Property-based sweep: on random instances the allocation must be (a) feasible on
+// every link, (b) within every flow cap, and (c) max-min optimal: every flow is
+// either cap-limited or crosses at least one saturated link whose other flows all
+// have rates <= its own (otherwise its rate could be raised).
+class AllocatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorPropertyTest, RandomInstanceInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  const int num_links = static_cast<int>(rng.UniformInt(1, 40));
+  const int num_flows = static_cast<int>(rng.UniformInt(1, 120));
+
+  std::vector<double> capacity(static_cast<size_t>(num_links));
+  for (auto& c : capacity) {
+    c = rng.UniformDouble(0.5e6, 20e6);
+  }
+  std::vector<FlowSpec> flows;
+  for (int i = 0; i < num_flows; ++i) {
+    FlowSpec f;
+    const int nlinks = static_cast<int>(rng.UniformInt(1, 3));
+    for (int l = 0; l < nlinks; ++l) {
+      f.links[l] = static_cast<int32_t>(rng.UniformInt(0, num_links - 1));
+    }
+    f.cap_bps = rng.Bernoulli(0.3) ? rng.UniformDouble(0.1e6, 5e6) : kUnlimited;
+    flows.push_back(f);
+  }
+
+  AllocateMaxMin(flows, capacity);
+
+  // (a) feasibility and (b) caps.
+  std::vector<double> used(static_cast<size_t>(num_links), 0.0);
+  for (const auto& f : flows) {
+    EXPECT_GE(f.rate_bps, 0.0);
+    EXPECT_LE(f.rate_bps, f.cap_bps * (1.0 + 1e-9));
+    for (int l = 0; l < 3; ++l) {
+      if (f.links[l] >= 0) {
+        used[static_cast<size_t>(f.links[l])] += f.rate_bps;
+      }
+    }
+  }
+  for (int l = 0; l < num_links; ++l) {
+    EXPECT_LE(used[static_cast<size_t>(l)], capacity[static_cast<size_t>(l)] * (1.0 + 1e-6))
+        << "link " << l;
+  }
+
+  // (c) max-min optimality.
+  constexpr double kTol = 1.0;  // 1 bps
+  for (const auto& f : flows) {
+    if (f.rate_bps >= f.cap_bps - kTol) {
+      continue;  // cap-limited
+    }
+    bool justified = false;
+    for (int l = 0; l < 3 && !justified; ++l) {
+      if (f.links[l] < 0) {
+        continue;
+      }
+      const size_t li = static_cast<size_t>(f.links[l]);
+      if (used[li] < capacity[li] - kTol) {
+        continue;  // link not saturated
+      }
+      // Saturated link: check that f has a maximal rate among its flows.
+      bool is_max = true;
+      for (const auto& g : flows) {
+        bool on_link = false;
+        for (int gl = 0; gl < 3; ++gl) {
+          if (g.links[gl] == f.links[l]) {
+            on_link = true;
+          }
+        }
+        if (on_link && g.rate_bps > f.rate_bps + kTol) {
+          is_max = false;
+          break;
+        }
+      }
+      justified = is_max;
+    }
+    EXPECT_TRUE(justified) << "flow with rate " << f.rate_bps
+                           << " is neither cap-limited nor bottleneck-justified";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, AllocatorPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace bullet

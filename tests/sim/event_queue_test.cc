@@ -1,0 +1,112 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bullet {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(300, [&] { order.push_back(3); });
+  q.Schedule(100, [&] { order.push_back(1); });
+  q.Schedule(200, [&] { order.push_back(2); });
+  q.RunUntil(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntil(100);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(100, [&] { ++fired; });
+  q.Schedule(200, [&] { ++fired; });
+  q.RunUntil(150);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 100);
+  q.RunUntil(300);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.Schedule(100, [] {});
+  q.RunUntil(100);
+  SimTime fired_at = -1;
+  q.Schedule(50, [&] { fired_at = q.now(); });  // in the past
+  q.RunUntil(200);
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventQueue, Cancel) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.Schedule(100, [&] { ++fired; });
+  q.Schedule(200, [&] { ++fired; });
+  q.Cancel(id);
+  q.RunUntil(1000);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelUnknownIsNoop) {
+  EventQueue q;
+  q.Cancel(9999);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, StopInsideEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(100, [&] {
+    ++fired;
+    q.Stop();
+  });
+  q.Schedule(200, [&] { ++fired; });
+  q.RunUntil(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.stopped());
+  // Resumable after stop.
+  q.RunUntil(1000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<SimTime> fire_times;
+  std::function<void()> chain = [&] {
+    fire_times.push_back(q.now());
+    if (fire_times.size() < 5) {
+      q.ScheduleAfter(10, chain);
+    }
+  };
+  q.Schedule(0, chain);
+  q.RunUntil(1000);
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, PendingCount) {
+  EventQueue q;
+  EXPECT_EQ(q.pending(), 0u);
+  const EventId a = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,71 @@
+#include "src/sim/tcp_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bullet {
+namespace {
+
+TEST(TcpModel, MathisNoLossIsUnlimited) {
+  EXPECT_GE(MathisCapBps(MsToSim(100), 0.0, 1460.0), 1e11);
+}
+
+TEST(TcpModel, MathisKnownValue) {
+  // MSS 1460 B, RTT 200 ms, p = 1%: 1460*8 / (0.2 * sqrt(2*0.01/3)).
+  const double expected = 1460.0 * 8.0 / (0.2 * std::sqrt(2.0 * 0.01 / 3.0));
+  EXPECT_NEAR(MathisCapBps(MsToSim(200), 0.01, 1460.0), expected, 1.0);
+}
+
+TEST(TcpModel, MathisDecreasesWithLossAndRtt) {
+  const double base = MathisCapBps(MsToSim(100), 0.01, 1460.0);
+  EXPECT_LT(MathisCapBps(MsToSim(100), 0.02, 1460.0), base);
+  EXPECT_LT(MathisCapBps(MsToSim(200), 0.01, 1460.0), base);
+}
+
+TEST(TcpModel, SlowStartRampGrows) {
+  TcpModelParams params;
+  TcpFlowState state;
+  state.OnBecameActive(0, params);
+  const SimTime rtt = MsToSim(100);
+  const double r0 = TcpRateCapBps(state, 0, rtt, 0.0, params);
+  const double r3 = TcpRateCapBps(state, 3 * rtt, rtt, 0.0, params);
+  const double r6 = TcpRateCapBps(state, 6 * rtt, rtt, 0.0, params);
+  EXPECT_GT(r3, r0 * 4);  // doubles per RTT
+  EXPECT_GT(r6, r3 * 4);
+}
+
+TEST(TcpModel, RampStartsFromInitialWindow) {
+  TcpModelParams params;
+  TcpFlowState state;
+  state.OnBecameActive(0, params);
+  const SimTime rtt = MsToSim(100);
+  // At t=0: IW segments per RTT.
+  const double expected = params.initial_window_segments * params.mss_bytes * 8.0 / 0.1;
+  EXPECT_NEAR(TcpRateCapBps(state, 0, rtt, 0.0, params), expected, expected * 0.01);
+}
+
+TEST(TcpModel, IdleRestartResetsRamp) {
+  TcpModelParams params;
+  TcpFlowState state;
+  state.OnBecameActive(0, params);
+  state.last_busy = SecToSim(10.0);
+  // Re-activating shortly after staying busy keeps the ramp.
+  state.OnBecameActive(SecToSim(10.5), params);
+  EXPECT_EQ(state.active_since, 0);
+  // Re-activating after a long idle restarts slow start.
+  state.OnBecameActive(SecToSim(30.0), params);
+  EXPECT_EQ(state.active_since, SecToSim(30.0));
+}
+
+TEST(TcpModel, LossCapsTheRamp) {
+  TcpModelParams params;
+  TcpFlowState state;
+  state.OnBecameActive(0, params);
+  const SimTime rtt = MsToSim(100);
+  const double capped = TcpRateCapBps(state, SecToSim(60.0), rtt, 0.02, params);
+  EXPECT_NEAR(capped, MathisCapBps(rtt, 0.02, params.mss_bytes), 1.0);
+}
+
+}  // namespace
+}  // namespace bullet

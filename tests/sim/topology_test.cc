@@ -1,0 +1,116 @@
+#include "src/sim/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace bullet {
+namespace {
+
+TEST(Topology, FullMeshParameters) {
+  Rng rng(1);
+  Topology::MeshParams params;
+  params.num_nodes = 30;
+  Topology topo = Topology::FullMesh(params, rng);
+  EXPECT_EQ(topo.num_nodes(), 30);
+  for (NodeId n = 0; n < 30; ++n) {
+    EXPECT_DOUBLE_EQ(topo.uplink(n).bandwidth_bps, 6e6);
+    EXPECT_DOUBLE_EQ(topo.downlink(n).bandwidth_bps, 6e6);
+    EXPECT_EQ(topo.uplink(n).delay, MsToSim(1));
+  }
+  for (NodeId s = 0; s < 30; ++s) {
+    for (NodeId d = 0; d < 30; ++d) {
+      if (s == d) {
+        continue;
+      }
+      const LinkParams& core = topo.core(s, d);
+      EXPECT_DOUBLE_EQ(core.bandwidth_bps, 2e6);
+      EXPECT_GE(core.delay, MsToSim(5));
+      EXPECT_LE(core.delay, MsToSim(200));
+      EXPECT_GE(core.loss_rate, 0.0);
+      EXPECT_LE(core.loss_rate, 0.03);
+    }
+  }
+}
+
+TEST(Topology, CoreLinksAreAsymmetric) {
+  // Direction-specific links: the paper's dynamic scenario halves one direction only.
+  Rng rng(2);
+  Topology::MeshParams params;
+  params.num_nodes = 10;
+  Topology topo = Topology::FullMesh(params, rng);
+  topo.core(1, 2).bandwidth_bps = 1e5;
+  EXPECT_DOUBLE_EQ(topo.core(2, 1).bandwidth_bps, 2e6);
+}
+
+TEST(Topology, PathDelayAndRtt) {
+  Rng rng(3);
+  Topology::MeshParams params;
+  params.num_nodes = 5;
+  Topology topo = Topology::FullMesh(params, rng);
+  const SimTime d12 = topo.PathDelay(1, 2);
+  EXPECT_EQ(d12, topo.uplink(1).delay + topo.core(1, 2).delay + topo.downlink(2).delay);
+  EXPECT_EQ(topo.Rtt(1, 2), d12 + topo.PathDelay(2, 1));
+  EXPECT_EQ(topo.Rtt(1, 2), topo.Rtt(2, 1));
+}
+
+TEST(Topology, PathLossComposition) {
+  Rng rng(4);
+  Topology topo = Topology::ConstrainedAccess(4, rng);
+  topo.core(0, 1).loss_rate = 0.5;
+  topo.uplink(0).loss_rate = 0.5;
+  EXPECT_NEAR(topo.PathLoss(0, 1), 0.75, 1e-12);
+  EXPECT_NEAR(topo.PathLoss(1, 0), 0.0, 1e-12);
+}
+
+TEST(Topology, ConstrainedAccess) {
+  Rng rng(5);
+  Topology topo = Topology::ConstrainedAccess(20, rng);
+  for (NodeId n = 0; n < 20; ++n) {
+    EXPECT_DOUBLE_EQ(topo.uplink(n).bandwidth_bps, 800e3);
+  }
+  EXPECT_DOUBLE_EQ(topo.core(3, 4).bandwidth_bps, 10e6);
+  EXPECT_DOUBLE_EQ(topo.core(3, 4).loss_rate, 0.0);
+}
+
+TEST(Topology, Uniform) {
+  Rng rng(6);
+  Topology topo = Topology::Uniform(25, 10e6, MsToSim(100), 0.0, 0.0, rng);
+  EXPECT_DOUBLE_EQ(topo.core(1, 2).bandwidth_bps, 10e6);
+  EXPECT_EQ(topo.core(1, 2).delay, MsToSim(100));
+  // Access links ample so the uniform links constrain.
+  EXPECT_GT(topo.uplink(1).bandwidth_bps, 10e6);
+}
+
+TEST(Topology, WideAreaHeterogeneous) {
+  Rng rng(7);
+  Topology topo = Topology::WideArea(41, rng);
+  double min_up = 1e18;
+  double max_up = 0;
+  for (NodeId n = 0; n < 41; ++n) {
+    min_up = std::min(min_up, topo.uplink(n).bandwidth_bps);
+    max_up = std::max(max_up, topo.uplink(n).bandwidth_bps);
+    EXPECT_GE(topo.uplink(n).bandwidth_bps, 1e6);
+    EXPECT_LE(topo.uplink(n).bandwidth_bps, 20e6);
+    EXPECT_GE(topo.downlink(n).bandwidth_bps, topo.uplink(n).bandwidth_bps);
+  }
+  EXPECT_GT(max_up / min_up, 2.0);  // genuinely heterogeneous
+}
+
+TEST(Topology, DeterministicGivenSeed) {
+  Rng rng1(42);
+  Rng rng2(42);
+  Topology::MeshParams params;
+  params.num_nodes = 12;
+  Topology a = Topology::FullMesh(params, rng1);
+  Topology b = Topology::FullMesh(params, rng2);
+  for (NodeId s = 0; s < 12; ++s) {
+    for (NodeId d = 0; d < 12; ++d) {
+      if (s != d) {
+        EXPECT_EQ(a.core(s, d).delay, b.core(s, d).delay);
+        EXPECT_DOUBLE_EQ(a.core(s, d).loss_rate, b.core(s, d).loss_rate);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bullet

@@ -1,0 +1,42 @@
+// End-to-end smoke test: a small Bullet' swarm on the paper's mesh topology must
+// deliver the full file to every node with bounded duplicate traffic.
+
+#include <gtest/gtest.h>
+
+#include "src/core/bullet_prime.h"
+#include "src/harness/experiment.h"
+
+namespace bullet {
+namespace {
+
+TEST(Smoke, BulletPrimeSmallMeshCompletes) {
+  Rng topo_rng(42);
+  Topology::MeshParams mesh;
+  mesh.num_nodes = 20;
+  mesh.core_loss_max = 0.0;  // lossless for the smoke test
+  Topology topo = Topology::FullMesh(mesh, topo_rng);
+
+  ExperimentParams params;
+  params.seed = 7;
+  params.file.block_bytes = 16 * 1024;
+  params.file.num_blocks = 128;  // 2 MB
+  params.deadline = SecToSim(300.0);
+
+  Experiment exp(std::move(topo), params);
+  BulletPrimeConfig config;
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+    return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, config);
+  });
+
+  EXPECT_EQ(metrics.completed(), 19);
+  const auto times = metrics.CompletionSeconds(params.source);
+  ASSERT_EQ(times.size(), 19u);
+  for (const double t : times) {
+    EXPECT_GT(t, 2.0);    // can't beat the file transfer time
+    EXPECT_LT(t, 300.0);  // and must finish before the deadline
+  }
+  EXPECT_LT(metrics.DuplicateFraction(), 0.05);
+}
+
+}  // namespace
+}  // namespace bullet
