@@ -1,69 +1,71 @@
 // Ablations beyond the paper's figures, probing the design choices DESIGN.md calls
-// out (all on the lossy Section 4.1 mesh):
+// out (all on the lossy Section 4.1 mesh), one scenario each:
 //
-//  * trim threshold — the paper chose 1.5 sigma ("1 would lead to too many nodes
-//    being closed whereas 2 would only permit a very few peers to ever be closed");
-//    we sweep {off, 1.0, 1.5, 2.0}.
-//  * availability piggybacking — Section 3.3.4's self-clocking diffs ride on data
-//    blocks; piggyback budget 0 forces all availability onto explicit diff messages.
-//  * source push order — round-robin (every block enters the overlay once before
+//  * ablation_trim — trim threshold: the paper chose 1.5 sigma ("1 would lead to too
+//    many nodes being closed whereas 2 would only permit a very few peers to ever be
+//    closed"); we sweep {off, 1.0, 1.5, 2.0}.
+//  * ablation_piggyback — Section 3.3.4's self-clocking diffs ride on data blocks;
+//    piggyback budget 0 forces all availability onto explicit diff messages.
+//  * ablation_source_push — round-robin (every block enters the overlay once before
 //    any repeat) vs random child selection.
 
-#include "bench/bench_util.h"
+#include <string>
+
+#include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
 
-ScenarioConfig MeshConfig(uint64_t seed) {
+ScenarioConfig MeshConfig(uint64_t seed, const ScenarioOptions& opts) {
   ScenarioConfig cfg;
   cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.seed = seed;
+  ApplyScenarioOptions(opts, &cfg);
   return cfg;
 }
 
-void BM_TrimSigma(benchmark::State& state) {
-  const int tenths = static_cast<int>(state.range(0));  // 0 = trimming off
-  BulletPrimeConfig bp;
-  std::string name;
-  if (tenths == 0) {
-    bp.trim_stddevs = 1e9;  // never trims
-    name = "trim off";
-  } else {
-    bp.trim_stddevs = tenths / 10.0;
-    name = "trim " + std::to_string(tenths / 10.0).substr(0, 3) + " sigma";
+BULLET_SCENARIO(ablation_trim, "Ablation — sender trim threshold (sigma sweep)") {
+  const ScenarioConfig cfg = MeshConfig(2001, opts);
+  ScenarioReport report(kScenarioName);
+  for (const int tenths : {15, 10, 20, 0}) {  // 0 = trimming off
+    BulletPrimeConfig bp;
+    std::string name;
+    if (tenths == 0) {
+      bp.trim_stddevs = 1e9;  // never trims
+      name = "trim off";
+    } else {
+      bp.trim_stddevs = tenths / 10.0;
+      name = "trim " + std::to_string(tenths / 10.0).substr(0, 3) + " sigma";
+    }
+    report.AddCompletion(name, RunScenario(System::kBulletPrime, cfg, bp));
   }
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, MeshConfig(2001), bp);
-    bench::ReportCompletion(state, name, r);
-  }
+  return report;
 }
-BENCHMARK(BM_TrimSigma)->Arg(15)->Arg(10)->Arg(20)->Arg(0)->Iterations(1)->Unit(
-    benchmark::kMillisecond);
 
-void BM_Piggyback(benchmark::State& state) {
-  const int limit = static_cast<int>(state.range(0));
-  BulletPrimeConfig bp;
-  bp.piggyback_limit = limit;
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, MeshConfig(2002), bp);
-    bench::ReportCompletion(state, "piggyback " + std::to_string(limit), r);
+BULLET_SCENARIO(ablation_piggyback, "Ablation — availability piggyback budget") {
+  const ScenarioConfig cfg = MeshConfig(2002, opts);
+  ScenarioReport report(kScenarioName);
+  for (const int limit : {32, 8, 0}) {
+    BulletPrimeConfig bp;
+    bp.piggyback_limit = limit;
+    report.AddCompletion("piggyback " + std::to_string(limit),
+                         RunScenario(System::kBulletPrime, cfg, bp));
   }
+  return report;
 }
-BENCHMARK(BM_Piggyback)->Arg(32)->Arg(8)->Arg(0)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-void BM_SourcePush(benchmark::State& state) {
-  const bool random = state.range(0) != 0;
-  BulletPrimeConfig bp;
-  bp.source_random_push = random;
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, MeshConfig(2003), bp);
-    bench::ReportCompletion(state, random ? "source random push" : "source round-robin push", r);
+BULLET_SCENARIO(ablation_source_push, "Ablation — source push order (round-robin vs random)") {
+  const ScenarioConfig cfg = MeshConfig(2003, opts);
+  ScenarioReport report(kScenarioName);
+  for (const bool random : {false, true}) {
+    BulletPrimeConfig bp;
+    bp.source_random_push = random;
+    report.AddCompletion(random ? "source random push" : "source round-robin push",
+                         RunScenario(System::kBulletPrime, cfg, bp));
   }
+  return report;
 }
-BENCHMARK(BM_SourcePush)->Arg(0)->Arg(1)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Ablations — trim threshold, piggybacking, source push order")

@@ -1,37 +1,35 @@
-// Extension bench (no paper figure): mesh resilience under node failures — the
+// Extension scenario (no paper figure): mesh resilience under node failures — the
 // Section 1 argument that losing one of n peers costs ~1/n of a node's bandwidth.
 // Sweeps the number of failed leaves on the Fig. 4 topology and reports survivor
 // completion times; the dual sweep runs legacy Bullet, whose receivers depend partly
 // on tree forwarding, for contrast.
 
-#include "bench/bench_util.h"
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "src/baselines/bullet_legacy.h"
 #include "src/core/bullet_prime.h"
 #include "src/harness/churn.h"
 #include "src/harness/experiment.h"
+#include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
 
-std::vector<double> RunChurn(System system, int kills, uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
-  cfg.seed = seed;
-
+std::vector<double> RunChurn(System system, int kills, const ScenarioConfig& cfg) {
   ExperimentParams params;
   params.seed = cfg.seed;
   params.file.block_bytes = cfg.block_bytes;
   params.file.num_blocks =
       static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.block_bytes));
   params.file.encoded = system == System::kBulletLegacy;
-  params.deadline = SecToSim(7200.0);
+  params.deadline = cfg.deadline;
   Experiment exp(BuildScenarioTopology(cfg), params);
 
   std::vector<char> is_victim(static_cast<size_t>(cfg.num_nodes), 0);
   if (kills > 0) {
-    Rng churn_rng(seed ^ 0xc0ffee);
+    Rng churn_rng(cfg.seed ^ 0xc0ffee);
     const ChurnPlan plan = PlanLeafFailures(exp.tree(), params.source, kills, churn_rng);
     for (const NodeId v : plan.victims) {
       is_victim[static_cast<size_t>(v)] = 1;
@@ -60,26 +58,29 @@ std::vector<double> RunChurn(System system, int kills, uint64_t seed) {
   return survivor_times;
 }
 
-void BM_Churn(benchmark::State& state) {
-  const System system = static_cast<System>(state.range(0));
-  const int kills = static_cast<int>(state.range(1));
-  for (auto _ : state) {
-    const auto times = RunChurn(system, kills, 3001);
-    bench::ReportSamples(state, std::string(SystemName(system)) + " survivors, " +
-                                    std::to_string(kills) + " failures",
-                         times);
+BULLET_SCENARIO(churn_resilience, "Extension — survivor completion under leaf failures") {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 100;
+  cfg.file_mb = ScaledFileMb(100.0);
+  cfg.seed = 3001;
+  cfg.deadline = SecToSim(7200.0);
+  ApplyScenarioOptions(opts, &cfg);
+
+  struct Sweep {
+    System system;
+    int kills;
+  };
+  ScenarioReport report(kScenarioName);
+  for (const Sweep sweep : {Sweep{System::kBulletPrime, 0}, Sweep{System::kBulletPrime, 10},
+                            Sweep{System::kBulletPrime, 25}, Sweep{System::kBulletLegacy, 0},
+                            Sweep{System::kBulletLegacy, 25}}) {
+    const auto times = RunChurn(sweep.system, sweep.kills, cfg);
+    report.AddSeries(std::string(SystemName(sweep.system)) + " survivors, " +
+                         std::to_string(sweep.kills) + " failures",
+                     times);
   }
+  return report;
 }
-BENCHMARK(BM_Churn)
-    ->Args({static_cast<int>(System::kBulletPrime), 0})
-    ->Args({static_cast<int>(System::kBulletPrime), 10})
-    ->Args({static_cast<int>(System::kBulletPrime), 25})
-    ->Args({static_cast<int>(System::kBulletLegacy), 0})
-    ->Args({static_cast<int>(System::kBulletLegacy), 25})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Extension — survivor completion under leaf-node failures")

@@ -6,50 +6,33 @@
 // Expected shape (paper): optimal < TCP-feasible < Bullet' < Bullet ~ BitTorrent <
 // SplitStream; Bullet' leads by ~25% and its slowest node by ~37%.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
 
-ScenarioConfig Fig4Config() {
+BULLET_SCENARIO(fig04_overall_static, "Fig. 4 — overall performance, static conditions") {
   ScenarioConfig cfg;
   cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.seed = 401;
-  return cfg;
-}
+  ApplyScenarioOptions(opts, &cfg);
 
-void BM_System(benchmark::State& state) {
-  const System system = static_cast<System>(state.range(0));
-  const ScenarioConfig cfg = Fig4Config();
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(system, cfg);
-    bench::ReportCompletion(state, r.name, r);
+  ScenarioReport report(kScenarioName);
+  for (const System system :
+       {System::kBulletPrime, System::kBulletLegacy, System::kBitTorrent, System::kSplitStream}) {
+    report.AddCompletion(RunScenario(system, cfg));
   }
-}
-BENCHMARK(BM_System)
-    ->Arg(static_cast<int>(System::kBulletPrime))
-    ->Arg(static_cast<int>(System::kBulletLegacy))
-    ->Arg(static_cast<int>(System::kBitTorrent))
-    ->Arg(static_cast<int>(System::kSplitStream))
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_ReferenceLines(benchmark::State& state) {
-  const ScenarioConfig cfg = Fig4Config();
-  for (auto _ : state) {
-    const double optimal = OptimalAccessLinkSeconds(cfg.file_mb, 6e6);
-    // Startup: tree join + first RanSub epochs before the mesh fills pipes.
-    const double feasible = TcpFeasibleSeconds(cfg.file_mb, 6e6, /*startup_sec=*/12.0);
-    state.counters["optimal_s"] = optimal;
-    state.counters["tcp_feasible_s"] = feasible;
-    bench::CollectedSeries().push_back(CdfSeries{"PhysicalLinkOptimal", {optimal}});
-    bench::CollectedSeries().push_back(CdfSeries{"MacedonTcpFeasible", {feasible}});
-  }
+  const double optimal = OptimalAccessLinkSeconds(cfg.file_mb, 6e6);
+  // Startup: tree join + first RanSub epochs before the mesh fills pipes.
+  const double feasible = TcpFeasibleSeconds(cfg.file_mb, 6e6, /*startup_sec=*/12.0);
+  report.AddScalar("optimal_s", optimal);
+  report.AddScalar("tcp_feasible_s", feasible);
+  report.AddSeries("PhysicalLinkOptimal", {optimal});
+  report.AddSeries("MacedonTcpFeasible", {feasible});
+  return report;
 }
-BENCHMARK(BM_ReferenceLines)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 4 — overall performance, static conditions")

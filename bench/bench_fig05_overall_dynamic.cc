@@ -5,32 +5,26 @@
 // Expected shape (paper): Bullet' degrades least; it finishes 32-70% faster than
 // Bullet/BitTorrent/SplitStream, whose tails stretch toward ~1000 s.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
 
-void BM_System(benchmark::State& state) {
-  const System system = static_cast<System>(state.range(0));
+BULLET_SCENARIO(fig05_overall_dynamic, "Fig. 5 — overall performance, dynamic bandwidth") {
   ScenarioConfig cfg;
   cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.dynamic_bw = true;
   cfg.seed = 501;
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(system, cfg);
-    bench::ReportCompletion(state, r.name, r);
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  for (const System system :
+       {System::kBulletPrime, System::kBulletLegacy, System::kBitTorrent, System::kSplitStream}) {
+    report.AddCompletion(RunScenario(system, cfg));
   }
+  return report;
 }
-BENCHMARK(BM_System)
-    ->Arg(static_cast<int>(System::kBulletPrime))
-    ->Arg(static_cast<int>(System::kBulletLegacy))
-    ->Arg(static_cast<int>(System::kBitTorrent))
-    ->Arg(static_cast<int>(System::kSplitStream))
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 5 — overall performance, dynamic bandwidth changes")

@@ -6,7 +6,7 @@
 // receivers; plain random catches up in the tail because rarest decisions go stale
 // on lossy links.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
@@ -25,28 +25,24 @@ const char* StrategyName(RequestStrategy s) {
   return "?";
 }
 
-void BM_Strategy(benchmark::State& state) {
-  const RequestStrategy strategy = static_cast<RequestStrategy>(state.range(0));
+BULLET_SCENARIO(fig06_request_strategy, "Fig. 6 — request strategy under random losses") {
   ScenarioConfig cfg;
   cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.seed = 601;
-  BulletPrimeConfig bp;
-  bp.request_strategy = strategy;
-  for (auto _ : state) {
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  for (const RequestStrategy strategy :
+       {RequestStrategy::kRarestRandom, RequestStrategy::kRandom, RequestStrategy::kRarest,
+        RequestStrategy::kFirstEncountered}) {
+    BulletPrimeConfig bp;
+    bp.request_strategy = strategy;
     const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
-    bench::ReportCompletion(state, std::string("BulletPrime ") + StrategyName(strategy), r);
+    report.AddCompletion(std::string("BulletPrime ") + StrategyName(strategy), r);
   }
+  return report;
 }
-BENCHMARK(BM_Strategy)
-    ->Arg(static_cast<int>(RequestStrategy::kRarestRandom))
-    ->Arg(static_cast<int>(RequestStrategy::kRandom))
-    ->Arg(static_cast<int>(RequestStrategy::kRarest))
-    ->Arg(static_cast<int>(RequestStrategy::kFirstEncountered))
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 6 — request strategy under random losses")

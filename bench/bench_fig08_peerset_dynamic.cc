@@ -4,36 +4,24 @@
 // Expected shape (paper): the dynamic approach matches and sometimes exceeds the
 // best static configuration once conditions change underneath the overlay.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
+#include "bench/peerset_common.h"
 
 namespace bullet {
 namespace {
 
-void BM_PeerSet(benchmark::State& state) {
-  const int peers = static_cast<int>(state.range(0));  // 0 = dynamic
+BULLET_SCENARIO(fig08_peerset_dynamic, "Fig. 8 — peer-set size under bandwidth changes") {
   ScenarioConfig cfg;
   cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.dynamic_bw = true;
   cfg.seed = 801;
-  BulletPrimeConfig bp;
-  std::string name;
-  if (peers == 0) {
-    name = "BulletPrime dynamic peer sets";
-  } else {
-    bp.dynamic_peer_sets = false;
-    bp.initial_senders = peers;
-    bp.initial_receivers = peers;
-    name = "BulletPrime " + std::to_string(peers) + " senders/receivers";
-  }
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
-    bench::ReportCompletion(state, name, r);
-  }
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  bench::RunPeerSetSweep(cfg, {14, 0, 10, 6}, &report);
+  return report;
 }
-BENCHMARK(BM_PeerSet)->Arg(14)->Arg(0)->Arg(10)->Arg(6)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 8 — peer-set size under bandwidth changes and losses")

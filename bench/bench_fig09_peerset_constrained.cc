@@ -7,36 +7,24 @@
 // sometimes exceeds) the better static setup. This inversion is the paper's central
 // argument that no static peer-set size works everywhere.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
+#include "bench/peerset_common.h"
 
 namespace bullet {
 namespace {
 
-void BM_PeerSet(benchmark::State& state) {
-  const int peers = static_cast<int>(state.range(0));  // 0 = dynamic
+BULLET_SCENARIO(fig09_peerset_constrained, "Fig. 9 — peer-set size, constrained access links") {
   ScenarioConfig cfg;
   cfg.topo = ScenarioConfig::Topo::kConstrained;
   cfg.num_nodes = 100;
-  cfg.file_mb = bench::ScaledFileMb(10.0);
+  cfg.file_mb = ScaledFileMb(10.0);
   cfg.seed = 901;
-  BulletPrimeConfig bp;
-  std::string name;
-  if (peers == 0) {
-    name = "BulletPrime dynamic peer sets";
-  } else {
-    bp.dynamic_peer_sets = false;
-    bp.initial_senders = peers;
-    bp.initial_receivers = peers;
-    name = "BulletPrime " + std::to_string(peers) + " senders/receivers";
-  }
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
-    bench::ReportCompletion(state, name, r);
-  }
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  bench::RunPeerSetSweep(cfg, {10, 0, 14}, &report);
+  return report;
 }
-BENCHMARK(BM_PeerSet)->Arg(10)->Arg(0)->Arg(14)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 9 — peer-set size with constrained access links")

@@ -6,51 +6,28 @@
 // bandwidth-delay product (~31 blocks of 8 KB in flight across the request loop);
 // the dynamic controller tracks the large-window configurations.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
+#include "bench/outstanding_common.h"
 
 namespace bullet {
 namespace {
 
-void BM_Outstanding(benchmark::State& state) {
-  const int window = static_cast<int>(state.range(0));  // 0 = dynamic
+BULLET_SCENARIO(fig10_outstanding_noloss, "Fig. 10 — outstanding windows, no losses") {
   ScenarioConfig cfg;
   cfg.topo = ScenarioConfig::Topo::kUniform;
   cfg.num_nodes = 25;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.block_bytes = 8 * 1024;
   cfg.uniform_bps = 10e6;
   cfg.uniform_delay = MsToSim(100);
   cfg.loss_max = 0.0;
   cfg.seed = 1001;
-  BulletPrimeConfig bp;
-  // The paper runs this experiment with up to 5 senders and peer management off.
-  bp.dynamic_peer_sets = false;
-  bp.initial_senders = 5;
-  bp.initial_receivers = 5;
-  std::string name;
-  if (window == 0) {
-    name = "BulletPrime dyn outstanding";
-  } else {
-    bp.dynamic_outstanding = false;
-    bp.fixed_outstanding = window;
-    name = "BulletPrime " + std::to_string(window) + " outstanding";
-  }
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
-    bench::ReportCompletion(state, name, r);
-  }
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  bench::RunOutstandingSweep(cfg, {50, 0, 15, 9, 6, 3}, &report);
+  return report;
 }
-BENCHMARK(BM_Outstanding)
-    ->Arg(50)
-    ->Arg(0)
-    ->Arg(15)
-    ->Arg(9)
-    ->Arg(6)
-    ->Arg(3)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 10 — outstanding windows, no losses, no bandwidth changes")

@@ -4,51 +4,29 @@
 // suffices; hoarding 50 outstanding blocks on a connection that slows down strands
 // requests, and the dynamic controller beats every static choice.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
+#include "bench/outstanding_common.h"
 
 namespace bullet {
 namespace {
 
-void BM_Outstanding(benchmark::State& state) {
-  const int window = static_cast<int>(state.range(0));  // 0 = dynamic
+BULLET_SCENARIO(fig11_outstanding_loss, "Fig. 11 — outstanding windows under random losses") {
   ScenarioConfig cfg;
   cfg.topo = ScenarioConfig::Topo::kUniform;
   cfg.num_nodes = 25;
-  cfg.file_mb = bench::ScaledFileMb(100.0);
+  cfg.file_mb = ScaledFileMb(100.0);
   cfg.block_bytes = 8 * 1024;
   cfg.uniform_bps = 10e6;
   cfg.uniform_delay = MsToSim(100);
   cfg.loss_min = 0.0;
   cfg.loss_max = 0.015;
   cfg.seed = 1101;
-  BulletPrimeConfig bp;
-  bp.dynamic_peer_sets = false;
-  bp.initial_senders = 5;
-  bp.initial_receivers = 5;
-  std::string name;
-  if (window == 0) {
-    name = "BulletPrime dyn outstanding";
-  } else {
-    bp.dynamic_outstanding = false;
-    bp.fixed_outstanding = window;
-    name = "BulletPrime " + std::to_string(window) + " outstanding";
-  }
-  for (auto _ : state) {
-    const ScenarioResult r = RunScenario(System::kBulletPrime, cfg, bp);
-    bench::ReportCompletion(state, name, r);
-  }
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  bench::RunOutstandingSweep(cfg, {0, 15, 50, 9, 6, 3}, &report);
+  return report;
 }
-BENCHMARK(BM_Outstanding)
-    ->Arg(0)
-    ->Arg(15)
-    ->Arg(50)
-    ->Arg(9)
-    ->Arg(6)
-    ->Arg(3)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 11 — outstanding windows under random losses")

@@ -7,10 +7,12 @@
 // collapsed links and delay the 8th node; the dynamic controller beats every fixed
 // choice by 7-22% on the slowest node (3 and 6 outstanding are far slower still).
 
-#include "bench/bench_util.h"
+#include <memory>
+#include <string>
 
 #include "src/core/bullet_prime.h"
 #include "src/harness/experiment.h"
+#include "src/harness/scenario_registry.h"
 #include "src/sim/dynamics.h"
 
 namespace bullet {
@@ -40,55 +42,46 @@ Topology Fig12Topology() {
   return topo;
 }
 
-void BM_Outstanding(benchmark::State& state) {
-  const int window = static_cast<int>(state.range(0));  // 0 = dynamic
+// The topology is fixed at 8 nodes, so only the file/seed/deadline overrides apply.
+BULLET_SCENARIO(fig12_outstanding_cascade, "Fig. 12 — cascading bandwidth collapses") {
   ExperimentParams params;
-  params.seed = 1201;
-  params.file.block_bytes = 8 * 1024;
-  params.file.num_blocks = static_cast<uint32_t>(bench::ScaledFileMb(100.0) * 1024.0 * 1024.0 /
-                                                 static_cast<double>(params.file.block_bytes));
-  params.deadline = SecToSim(7200.0);
+  params.seed = opts.seed.value_or(1201);
+  params.file.block_bytes = opts.block_bytes.value_or(8 * 1024);
+  params.file.num_blocks = static_cast<uint32_t>(
+      opts.file_mb.value_or(ScaledFileMb(100.0)) * 1024.0 * 1024.0 /
+      static_cast<double>(params.file.block_bytes));
+  params.deadline = SecToSim(opts.deadline_sec.value_or(7200.0));
 
-  BulletPrimeConfig bp;
-  bp.dynamic_peer_sets = false;  // the paper disables peer management here
-  bp.initial_senders = 6;
-  bp.initial_receivers = 7;
-  std::string name;
-  if (window == 0) {
-    name = "BulletPrime dyn outstanding";
-  } else {
-    bp.dynamic_outstanding = false;
-    bp.fixed_outstanding = window;
-    name = "BulletPrime " + std::to_string(window) + " outstanding";
-  }
+  ScenarioReport report(kScenarioName);
+  for (const int window : {0, 9, 15, 50, 6, 3}) {
+    BulletPrimeConfig bp;
+    bp.dynamic_peer_sets = false;  // the paper disables peer management here
+    bp.initial_senders = 6;
+    bp.initial_receivers = 7;
+    std::string name;
+    if (window == 0) {
+      name = "BulletPrime dyn outstanding";
+    } else {
+      bp.dynamic_outstanding = false;
+      bp.fixed_outstanding = window;
+      name = "BulletPrime " + std::to_string(window) + " outstanding";
+    }
 
-  for (auto _ : state) {
     Experiment exp(Fig12Topology(), params);
     // Every 25 s another peer's dedicated link toward the 8th node collapses.
     StartCascade(exp.net(), kSlowNode, {1, 2, 3, 4, 5, 6}, SecToSim(25.0), 100e3);
     RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
       return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, bp);
     });
+
     const auto all = metrics.CompletionSeconds(params.source, SimToSec(params.deadline));
-    state.counters["slow_node_s"] = metrics.node(kSlowNode).completion >= 0
-                                        ? SimToSec(metrics.node(kSlowNode).completion)
-                                        : SimToSec(params.deadline);
-    state.counters["p50_s"] = Percentile(all, 0.5);
-    state.counters["max_s"] = Percentile(all, 1.0);
-    bench::CollectedSeries().push_back(CdfSeries{name, all});
+    SeriesReport& s = report.AddSeries(name, all);
+    s.metrics.emplace_back("slow_node_s", metrics.node(kSlowNode).completion >= 0
+                                              ? SimToSec(metrics.node(kSlowNode).completion)
+                                              : SimToSec(params.deadline));
   }
+  return report;
 }
-BENCHMARK(BM_Outstanding)
-    ->Arg(0)
-    ->Arg(9)
-    ->Arg(15)
-    ->Arg(50)
-    ->Arg(6)
-    ->Arg(3)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 12 — cascading bandwidth collapses toward one node")

@@ -7,33 +7,28 @@
 // Expected shape (paper): Bullet' consistently fastest; its slowest node finishes
 // several hundred seconds before BitTorrent's slowest.
 
-#include "bench/bench_util.h"
+#include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
 
-void BM_System(benchmark::State& state) {
-  const System system = static_cast<System>(state.range(0));
+BULLET_SCENARIO(fig14_widearea, "Fig. 14 — wide-area (PlanetLab stand-in) comparison") {
   ScenarioConfig cfg;
   cfg.topo = ScenarioConfig::Topo::kWideArea;
   cfg.num_nodes = 41;
-  cfg.file_mb = bench::ScaledFileMb(50.0);
+  cfg.file_mb = ScaledFileMb(50.0);
   cfg.block_bytes = 100 * 1024;  // the deployment's block size (Section 4.7)
   cfg.seed = 1401;
-  for (auto _ : state) {
+  ApplyScenarioOptions(opts, &cfg);
+
+  ScenarioReport report(kScenarioName);
+  for (const System system :
+       {System::kBulletPrime, System::kBulletLegacy, System::kBitTorrent, System::kSplitStream}) {
     const ScenarioResult r = RunScenario(system, cfg);
-    bench::ReportCompletion(state, r.name + " (wide-area)", r);
+    report.AddCompletion(r.name + " (wide-area)", r);
   }
+  return report;
 }
-BENCHMARK(BM_System)
-    ->Arg(static_cast<int>(System::kBulletPrime))
-    ->Arg(static_cast<int>(System::kBulletLegacy))
-    ->Arg(static_cast<int>(System::kBitTorrent))
-    ->Arg(static_cast<int>(System::kSplitStream))
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 14 — wide-area (PlanetLab stand-in) comparison")

@@ -12,10 +12,13 @@
 // disk, not the network, is the constraint).
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/core/bullet_prime.h"
+#include "src/harness/scenario_registry.h"
 #include "src/shotgun/rsync_baseline.h"
 #include "src/shotgun/shotgun.h"
 
@@ -77,14 +80,19 @@ const Update& GetUpdate() {
   return update;
 }
 
-void BM_Shotgun(benchmark::State& state) {
+BULLET_SCENARIO(fig15_shotgun, "Fig. 15 — Shotgun vs staggered parallel rsync") {
   const Update& u = GetUpdate();
-  for (auto _ : state) {
+  const uint64_t seed = opts.seed.value_or(kSeed);
+  const int nodes = opts.nodes.value_or(kNodes);
+  ScenarioReport report(kScenarioName);
+
+  // Shotgun: disseminate the bundle over Bullet' on the wide-area topology.
+  {
     ScenarioConfig cfg;
     cfg.topo = ScenarioConfig::Topo::kWideArea;
-    cfg.num_nodes = kNodes;
+    cfg.num_nodes = nodes;
     cfg.file_mb = static_cast<double>(u.bundle.WireBytes()) / (1024.0 * 1024.0);
-    cfg.seed = kSeed;
+    cfg.seed = seed;
     const ScenarioResult r = RunScenario(System::kBulletPrime, cfg);
 
     const double apply_sec = static_cast<double>(u.bundle.ReplayBytes()) / kDiskBps;
@@ -92,24 +100,20 @@ void BM_Shotgun(benchmark::State& state) {
     for (const double t : r.completion_sec) {
       with_update.push_back(t + apply_sec);
     }
-    state.counters["bundle_mb"] = static_cast<double>(u.bundle.WireBytes()) / (1024.0 * 1024.0);
-    state.counters["apply_s"] = apply_sec;
-    bench::ReportSamples(state, "Shotgun (download only)", r.completion_sec);
-    bench::CollectedSeries().push_back(CdfSeries{"Shotgun (download + update)", with_update});
+    report.AddScalar("bundle_mb", static_cast<double>(u.bundle.WireBytes()) / (1024.0 * 1024.0));
+    report.AddScalar("apply_s", apply_sec);
+    report.AddSeries("Shotgun (download only)", r.completion_sec);
+    report.AddSeries("Shotgun (download + update)", with_update);
   }
-}
-BENCHMARK(BM_Shotgun)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-void BM_ParallelRsync(benchmark::State& state) {
-  const Update& u = GetUpdate();
-  const int parallel = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    Rng topo_rng(kSeed ^ 0x74d3c2e1b5a69788ULL);  // same topology as the Shotgun run
-    Topology topo = Topology::WideArea(kNodes, topo_rng);
+  // Baseline: N rsync clients against one server with K parallel slots.
+  for (const int parallel : {2, 4, 8, 16}) {
+    Rng topo_rng(seed ^ 0x74d3c2e1b5a69788ULL);  // same topology as the Shotgun run
+    Topology topo = Topology::WideArea(nodes, topo_rng);
 
     NetworkConfig net_config;
-    Network net(std::move(topo), net_config, kSeed);
-    RunMetrics metrics(kNodes);
+    Network net(std::move(topo), net_config, seed);
+    RunMetrics metrics(nodes);
 
     RsyncFleetConfig fleet;
     fleet.max_parallel = parallel;
@@ -120,12 +124,12 @@ void BM_ParallelRsync(benchmark::State& state) {
     fleet.client_disk_Bps = kDiskBps;
 
     std::vector<std::unique_ptr<Protocol>> protos;
-    for (NodeId n = 0; n < kNodes; ++n) {
+    for (NodeId n = 0; n < nodes; ++n) {
       Protocol::Context ctx;
       ctx.self = n;
       ctx.net = &net;
       ctx.metrics = &metrics;
-      ctx.seed = kSeed + static_cast<uint64_t>(n);
+      ctx.seed = seed + static_cast<uint64_t>(n);
       if (n == 0) {
         protos.push_back(std::make_unique<RsyncServer>(ctx, fleet));
       } else {
@@ -139,14 +143,11 @@ void BM_ParallelRsync(benchmark::State& state) {
     net.Run(SecToSim(4 * 3600.0));
 
     const auto times = metrics.CompletionSeconds(0, 4 * 3600.0);
-    bench::ReportSamples(state, std::to_string(parallel) + " parallel rsync", times);
-    state.counters["done"] = metrics.completed();
+    SeriesReport& s = report.AddSeries(std::to_string(parallel) + " parallel rsync", times);
+    s.metrics.emplace_back("done", static_cast<double>(metrics.completed()));
   }
+  return report;
 }
-BENCHMARK(BM_ParallelRsync)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1)->Unit(
-    benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace bullet
-
-BULLET_BENCH_MAIN("Fig. 15 — Shotgun vs staggered parallel rsync")

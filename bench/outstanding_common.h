@@ -1,0 +1,39 @@
+// Shared sweep for the Fig. 10/11 outstanding-request-window scenarios: Bullet' with
+// each fixed per-peer window (0 = the paper's dynamic controller), peer management
+// disabled with up to 5 senders, on the given uniform-link config.
+
+#ifndef BENCH_OUTSTANDING_COMMON_H_
+#define BENCH_OUTSTANDING_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario_registry.h"
+
+namespace bullet {
+namespace bench {
+
+inline void RunOutstandingSweep(const ScenarioConfig& cfg, const std::vector<int>& windows,
+                                ScenarioReport* report) {
+  for (const int window : windows) {
+    BulletPrimeConfig bp;
+    // The paper runs this experiment with up to 5 senders and peer management off.
+    bp.dynamic_peer_sets = false;
+    bp.initial_senders = 5;
+    bp.initial_receivers = 5;
+    std::string name;
+    if (window == 0) {
+      name = "BulletPrime dyn outstanding";
+    } else {
+      bp.dynamic_outstanding = false;
+      bp.fixed_outstanding = window;
+      name = "BulletPrime " + std::to_string(window) + " outstanding";
+    }
+    report->AddCompletion(name, RunScenario(System::kBulletPrime, cfg, bp));
+  }
+}
+
+}  // namespace bench
+}  // namespace bullet
+
+#endif  // BENCH_OUTSTANDING_COMMON_H_

@@ -1,0 +1,35 @@
+// Shared sweep for the Fig. 7/8/9 peer-set scenarios: run Bullet' with each fixed
+// sender/receiver set size (0 = the paper's dynamic sizing) on the given config.
+
+#ifndef BENCH_PEERSET_COMMON_H_
+#define BENCH_PEERSET_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario_registry.h"
+
+namespace bullet {
+namespace bench {
+
+inline void RunPeerSetSweep(const ScenarioConfig& cfg, const std::vector<int>& peer_counts,
+                            ScenarioReport* report) {
+  for (const int peers : peer_counts) {
+    BulletPrimeConfig bp;
+    std::string name;
+    if (peers == 0) {
+      name = "BulletPrime dynamic peer sets";
+    } else {
+      bp.dynamic_peer_sets = false;
+      bp.initial_senders = peers;
+      bp.initial_receivers = peers;
+      name = "BulletPrime " + std::to_string(peers) + " senders/receivers";
+    }
+    report->AddCompletion(name, RunScenario(System::kBulletPrime, cfg, bp));
+  }
+}
+
+}  // namespace bench
+}  // namespace bullet
+
+#endif  // BENCH_PEERSET_COMMON_H_

@@ -55,7 +55,7 @@ void BitTorrent::Start() {
   queue().ScheduleAfter(config_.optimistic_period, [this] { RotateOptimistic(); });
 }
 
-void BitTorrent::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
+void BitTorrent::OnConnUp(ConnId conn, NodeId /*peer*/, bool initiator) {
   if (conn == tracker_conn_) {
     auto req = std::make_unique<bt::TrackerRequestMsg>();
     AccountControlOut(req->wire_bytes);
@@ -79,7 +79,7 @@ void BitTorrent::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
   }
 }
 
-void BitTorrent::OnConnDown(ConnId conn, NodeId peer) {
+void BitTorrent::OnConnDown(ConnId conn, NodeId /*peer*/) {
   auto it = peers_.find(conn);
   if (it == peers_.end()) {
     return;

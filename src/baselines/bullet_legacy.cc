@@ -159,7 +159,7 @@ void BulletLegacy::ConnectToSender(NodeId node) {
   senders_.emplace(conn, std::move(s));
 }
 
-void BulletLegacy::OnPeerConnUp(ConnId conn, NodeId peer, bool initiator) {
+void BulletLegacy::OnPeerConnUp(ConnId conn, NodeId /*peer*/, bool initiator) {
   if (initiator && senders_.count(conn) > 0) {
     auto req = std::make_unique<bp::PeerRequestMsg>();
     AccountControlOut(req->wire_bytes);
@@ -167,7 +167,7 @@ void BulletLegacy::OnPeerConnUp(ConnId conn, NodeId peer, bool initiator) {
   }
 }
 
-void BulletLegacy::OnPeerConnDown(ConnId conn, NodeId peer) {
+void BulletLegacy::OnPeerConnDown(ConnId conn, NodeId /*peer*/) {
   auto it = senders_.find(conn);
   if (it != senders_.end()) {
     sender_nodes_.erase(it->second.node);

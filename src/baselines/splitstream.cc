@@ -64,7 +64,7 @@ void SplitStream::OnConnDown(ConnId conn, NodeId peer) {
   }
 }
 
-void SplitStream::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) {
+void SplitStream::OnMessage(ConnId conn, NodeId /*from*/, std::unique_ptr<Message> msg) {
   switch (msg->type) {
     case ss::StripeHelloMsg::kType: {
       AccountControlIn(msg->wire_bytes);

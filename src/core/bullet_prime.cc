@@ -321,7 +321,7 @@ void BulletPrime::ConnectToSender(NodeId node) {
   senders_.emplace(conn, std::move(s));
 }
 
-void BulletPrime::OnPeerConnUp(ConnId conn, NodeId peer, bool initiator) {
+void BulletPrime::OnPeerConnUp(ConnId conn, NodeId /*peer*/, bool initiator) {
   if (initiator) {
     auto it = senders_.find(conn);
     if (it != senders_.end()) {
@@ -333,7 +333,7 @@ void BulletPrime::OnPeerConnUp(ConnId conn, NodeId peer, bool initiator) {
   // The acceptor side waits for the PeerRequest message.
 }
 
-void BulletPrime::OnPeerConnDown(ConnId conn, NodeId peer) {
+void BulletPrime::OnPeerConnDown(ConnId conn, NodeId /*peer*/) {
   auto sit = senders_.find(conn);
   if (sit != senders_.end()) {
     // Undo availability accounting and requeue outstanding requests; skip Close
@@ -578,7 +578,7 @@ void BulletPrime::ServeBlock(Receiver& r, uint32_t id, bool marked) {
   net().Send(r.conn, self(), std::move(block));
 }
 
-void BulletPrime::OnBlockMsg(ConnId conn, NodeId from, bp::BlockMsg& msg) {
+void BulletPrime::OnBlockMsg(ConnId conn, NodeId /*from*/, bp::BlockMsg& msg) {
   auto it = senders_.find(conn);
   if (it == senders_.end()) {
     // Pushed block from the source on the control tree (or a late delivery from a

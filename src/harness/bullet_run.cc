@@ -1,0 +1,6 @@
+// Entry point for the unified scenario runner. All scenarios live in bench/*.cc and
+// self-register into ScenarioRegistry::Global() before main runs.
+
+#include "src/harness/scenario_runner.h"
+
+int main(int argc, char** argv) { return bullet::RunnerMain(argc, argv); }

@@ -1,0 +1,93 @@
+#include "src/harness/scenario_registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace bullet {
+
+void ApplyScenarioOptions(const ScenarioOptions& opts, ScenarioConfig* cfg) {
+  if (opts.nodes) {
+    cfg->num_nodes = *opts.nodes;
+  }
+  if (opts.file_mb) {
+    cfg->file_mb = *opts.file_mb;
+  }
+  if (opts.seed) {
+    cfg->seed = *opts.seed;
+  }
+  if (opts.block_bytes) {
+    cfg->block_bytes = *opts.block_bytes;
+  }
+  if (opts.deadline_sec) {
+    cfg->deadline = SecToSim(*opts.deadline_sec);
+  }
+}
+
+void ScenarioReport::AddCompletion(const ScenarioResult& result) {
+  AddCompletion(result.name, result);
+}
+
+void ScenarioReport::AddCompletion(const std::string& name, const ScenarioResult& result) {
+  SeriesReport& s = AddSeries(name, result.completion_sec);
+  s.metrics.emplace_back("dup_pct", result.duplicate_fraction * 100.0);
+  s.metrics.emplace_back("ctrl_pct", result.control_overhead * 100.0);
+  s.metrics.emplace_back("completed", static_cast<double>(result.completed));
+  s.metrics.emplace_back("receivers", static_cast<double>(result.receivers));
+}
+
+SeriesReport& ScenarioReport::AddSeries(const std::string& name, std::vector<double> samples) {
+  series_.push_back(SeriesReport{name, std::move(samples), {}});
+  return series_.back();
+}
+
+void ScenarioReport::AddScalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, value);
+}
+
+std::vector<CdfSeries> ScenarioReport::AsCdfSeries() const {
+  std::vector<CdfSeries> out;
+  out.reserve(series_.size());
+  for (const SeriesReport& s : series_) {
+    out.push_back(CdfSeries{s.name, s.samples});
+  }
+  return out;
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = new ScenarioRegistry();
+  return *registry;
+}
+
+bool ScenarioRegistry::Register(const std::string& name, const std::string& description,
+                                RunFn fn) {
+  return entries_.emplace(name, Entry{name, description, std::move(fn)}).second;
+}
+
+const ScenarioRegistry::Entry* ScenarioRegistry::Find(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ScenarioRegistry::Entry*> ScenarioRegistry::List() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+namespace harness_internal {
+
+ScenarioRegistrar::ScenarioRegistrar(const char* name, const char* description,
+                                     ScenarioRegistry::RunFn fn) {
+  if (!ScenarioRegistry::Global().Register(name, description, std::move(fn))) {
+    std::fprintf(stderr, "duplicate scenario registration: %s\n", name);
+    std::abort();
+  }
+}
+
+}  // namespace harness_internal
+
+}  // namespace bullet

@@ -1,0 +1,128 @@
+// Registry of named, parameterized scenarios. Every paper figure, churn sweep and
+// ablation registers itself here (see bench/*.cc); the bullet_run CLI lists and runs
+// them by name and serializes the resulting report to a BENCH_*.json metrics file.
+
+#ifndef SRC_HARNESS_SCENARIO_REGISTRY_H_
+#define SRC_HARNESS_SCENARIO_REGISTRY_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/cdf.h"
+#include "src/common/options.h"
+#include "src/harness/scenarios.h"
+
+namespace bullet {
+
+// Caller-supplied overrides; anything unset keeps the scenario's registered default.
+struct ScenarioOptions {
+  std::optional<int> nodes;
+  std::optional<double> file_mb;
+  std::optional<uint64_t> seed;
+  std::optional<int64_t> block_bytes;
+  std::optional<double> deadline_sec;
+};
+
+// Applies the generic overrides onto a scenario's default config.
+void ApplyScenarioOptions(const ScenarioOptions& opts, ScenarioConfig* cfg);
+
+// Paper file size scaled by REPRO_SCALE (ci: 20%, full: 100%).
+inline double ScaledFileMb(double paper_mb) { return paper_mb * GetReproScale().file_scale; }
+
+// One named series of samples plus its side metrics (duplicate %, control %, ...).
+struct SeriesReport {
+  std::string name;
+  std::vector<double> samples;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// Everything a scenario run produced; the runner turns this into JSON and tables.
+class ScenarioReport {
+ public:
+  explicit ScenarioReport(std::string scenario) : scenario_(std::move(scenario)) {}
+
+  // Adds a completion-time series with the standard per-system metrics attached.
+  void AddCompletion(const ScenarioResult& result);
+  void AddCompletion(const std::string& name, const ScenarioResult& result);
+  // Adds a bare sample series (e.g. inter-arrival gaps, survivor times). The
+  // returned reference stays valid across later Add* calls (deque storage).
+  SeriesReport& AddSeries(const std::string& name, std::vector<double> samples);
+  // Adds a top-level scalar (e.g. an analytic reference line).
+  void AddScalar(const std::string& key, double value);
+
+  const std::string& scenario() const { return scenario_; }
+  const std::deque<SeriesReport>& series() const { return series_; }
+  const std::vector<std::pair<std::string, double>>& scalars() const { return scalars_; }
+
+  // The series as CdfSeries rows for the human-readable summary table / CDF dump.
+  std::vector<CdfSeries> AsCdfSeries() const;
+
+ private:
+  std::string scenario_;
+  std::deque<SeriesReport> series_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+class ScenarioRegistry {
+ public:
+  using RunFn = std::function<ScenarioReport(const ScenarioOptions&)>;
+
+  struct Entry {
+    std::string name;
+    std::string description;
+    RunFn fn;
+  };
+
+  // The process-wide registry that BULLET_SCENARIO registers into.
+  static ScenarioRegistry& Global();
+
+  // Returns false (and leaves the registry unchanged) on a duplicate name.
+  bool Register(const std::string& name, const std::string& description, RunFn fn);
+
+  // nullptr when no scenario has that name.
+  const Entry* Find(const std::string& name) const;
+  // Sorted by name.
+  std::vector<const Entry*> List() const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+namespace harness_internal {
+
+struct ScenarioRegistrar {
+  ScenarioRegistrar(const char* name, const char* description, ScenarioRegistry::RunFn fn);
+};
+
+}  // namespace harness_internal
+
+}  // namespace bullet
+
+// Defines and registers a scenario:
+//
+//   BULLET_SCENARIO(fig04_overall_static, "Fig. 4 — ...") {
+//     ScenarioReport report(kScenarioName);
+//     ...
+//     return report;
+//   }
+//
+// The body receives `const ScenarioOptions& opts` and `kScenarioName`.
+#define BULLET_SCENARIO(scenario_name, description)                                         \
+  static ::bullet::ScenarioReport BulletScenarioRun_##scenario_name(                        \
+      const ::bullet::ScenarioOptions& opts, const char* kScenarioName);                    \
+  static const ::bullet::harness_internal::ScenarioRegistrar                                \
+      bullet_scenario_registrar_##scenario_name(                                            \
+          #scenario_name, description, [](const ::bullet::ScenarioOptions& opts) {          \
+            return BulletScenarioRun_##scenario_name(opts, #scenario_name);                 \
+          });                                                                               \
+  static ::bullet::ScenarioReport BulletScenarioRun_##scenario_name(                        \
+      [[maybe_unused]] const ::bullet::ScenarioOptions& opts,                               \
+      [[maybe_unused]] const char* kScenarioName)
+
+#endif  // SRC_HARNESS_SCENARIO_REGISTRY_H_

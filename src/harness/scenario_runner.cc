@@ -1,0 +1,321 @@
+#include "src/harness/scenario_runner.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/common/cdf.h"
+#include "src/common/stats.h"
+#include "src/harness/json_writer.h"
+
+namespace bullet {
+namespace {
+
+bool MatchesFlag(const std::string& arg, const std::string& flag) {
+  return arg == flag || arg.compare(0, flag.size() + 1, flag + "=") == 0;
+}
+
+// Consumes the raw text of "--flag value" or "--flag=value"; false when missing.
+bool ConsumeString(int argc, const char* const* argv, int* i, const std::string& arg,
+                   const std::string& flag, std::string* out) {
+  if (arg.compare(0, flag.size() + 1, flag + "=") == 0) {
+    *out = arg.substr(flag.size() + 1);
+    return !out->empty();
+  }
+  if (arg == flag) {
+    if (*i + 1 >= argc) {
+      return false;
+    }
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+// Strict full-string parses: no leading whitespace (strto* would skip it and
+// accept e.g. " -1" for unsigned), no trailing garbage, no fractional integers,
+// no out-of-range values, no nan/inf (no float round-trip, no UB casts).
+bool ParseInt64(const std::string& text, int64_t* out) {
+  if (text.empty() || !(std::isdigit(static_cast<unsigned char>(text[0])) || text[0] == '-')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno != 0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseUint64(const std::string& text, uint64_t* out) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno != 0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty() || !(std::isdigit(static_cast<unsigned char>(text[0])) || text[0] == '-' ||
+                        text[0] == '.')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno != 0 || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
+  RunnerArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      args.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      args.help = true;
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (MatchesFlag(arg, "--scenario")) {
+      if (!ConsumeString(argc, argv, &i, arg, "--scenario", &args.scenario)) {
+        args.ok = false;
+        args.error = "--scenario requires a name";
+        return args;
+      }
+    } else if (MatchesFlag(arg, "--out")) {
+      if (!ConsumeString(argc, argv, &i, arg, "--out", &args.out_path)) {
+        args.ok = false;
+        args.error = "--out requires a path";
+        return args;
+      }
+    } else if (MatchesFlag(arg, "--nodes")) {
+      std::string text;
+      int64_t v = 0;
+      if (!ConsumeString(argc, argv, &i, arg, "--nodes", &text) || !ParseInt64(text, &v) ||
+          v < 2 || v > 1000000) {
+        args.ok = false;
+        args.error = "--nodes requires an integer in [2, 1000000]";
+        return args;
+      }
+      args.options.nodes = static_cast<int>(v);
+    } else if (MatchesFlag(arg, "--file-mb")) {
+      std::string text;
+      double v = 0.0;
+      if (!ConsumeString(argc, argv, &i, arg, "--file-mb", &text) || !ParseDouble(text, &v) ||
+          v <= 0.0) {
+        args.ok = false;
+        args.error = "--file-mb requires a positive number";
+        return args;
+      }
+      args.options.file_mb = v;
+    } else if (MatchesFlag(arg, "--seed")) {
+      std::string text;
+      uint64_t v = 0;
+      if (!ConsumeString(argc, argv, &i, arg, "--seed", &text) || !ParseUint64(text, &v)) {
+        args.ok = false;
+        args.error = "--seed requires a non-negative integer";
+        return args;
+      }
+      args.options.seed = v;
+    } else if (MatchesFlag(arg, "--block-bytes")) {
+      std::string text;
+      int64_t v = 0;
+      if (!ConsumeString(argc, argv, &i, arg, "--block-bytes", &text) || !ParseInt64(text, &v) ||
+          v < 512) {
+        args.ok = false;
+        args.error = "--block-bytes requires an integer >= 512";
+        return args;
+      }
+      args.options.block_bytes = v;
+    } else if (MatchesFlag(arg, "--deadline-sec")) {
+      std::string text;
+      double v = 0.0;
+      if (!ConsumeString(argc, argv, &i, arg, "--deadline-sec", &text) ||
+          !ParseDouble(text, &v) || v <= 0.0) {
+        args.ok = false;
+        args.error = "--deadline-sec requires a positive number";
+        return args;
+      }
+      args.options.deadline_sec = v;
+    } else {
+      args.ok = false;
+      args.error = "unknown argument: " + arg;
+      return args;
+    }
+  }
+  if (!args.help && !args.list && args.scenario.empty()) {
+    args.ok = false;
+    args.error = "one of --list or --scenario NAME is required";
+  }
+  return args;
+}
+
+void WriteReportJson(std::ostream& os, const ScenarioReport& report,
+                     const ScenarioOptions& options) {
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("schema", "bullet-bench-v1");
+  json.Field("scenario", report.scenario());
+  json.Field("repro_scale", GetReproScale().file_scale);
+
+  // The overrides as requested on the command line. Scenarios with fixed setups
+  // (e.g. fig12's 8-node topology, fig15's delta bundle) may ignore overrides that
+  // do not apply to them, so this records the request, not a guarantee.
+  json.Key("requested_options").BeginObject();
+  if (options.nodes) {
+    json.Field("nodes", *options.nodes);
+  }
+  if (options.file_mb) {
+    json.Field("file_mb", *options.file_mb);
+  }
+  if (options.seed) {
+    json.Field("seed", *options.seed);
+  }
+  if (options.block_bytes) {
+    json.Field("block_bytes", *options.block_bytes);
+  }
+  if (options.deadline_sec) {
+    json.Field("deadline_sec", *options.deadline_sec);
+  }
+  json.EndObject();
+
+  json.Key("scalars").BeginObject();
+  for (const auto& [key, value] : report.scalars()) {
+    json.Field(key, value);
+  }
+  json.EndObject();
+
+  json.Key("series").BeginArray();
+  for (const SeriesReport& s : report.series()) {
+    json.BeginObject();
+    json.Field("name", s.name);
+    json.Field("count", static_cast<int64_t>(s.samples.size()));
+    json.Field("p05_s", Percentile(s.samples, 0.05));
+    json.Field("p50_s", Percentile(s.samples, 0.50));
+    json.Field("p90_s", Percentile(s.samples, 0.90));
+    json.Field("max_s", Percentile(s.samples, 1.0));
+    json.Key("metrics").BeginObject();
+    for (const auto& [key, value] : s.metrics) {
+      json.Field(key, value);
+    }
+    json.EndObject();
+    json.Key("samples").BeginArray();
+    for (const double v : s.samples) {
+      json.Number(v);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  os << "\n";
+}
+
+void PrintScenarioList(std::ostream& os, const ScenarioRegistry& registry) {
+  for (const ScenarioRegistry::Entry* entry : registry.List()) {
+    os << entry->name << "\t" << entry->description << "\n";
+  }
+}
+
+void PrintRunnerUsage(std::ostream& os) {
+  os << "bullet_run — registry-driven scenario runner for the Bullet' reproduction\n"
+        "\n"
+        "usage:\n"
+        "  bullet_run --list\n"
+        "  bullet_run --scenario NAME [overrides]\n"
+        "\n"
+        "overrides (defaults come from the scenario; fixed-setup scenarios ignore\n"
+        "overrides that do not apply, see bench/*.cc):\n"
+        "  --nodes N          number of participants\n"
+        "  --file-mb F        transferred file size in MB (pre-scaled scenarios ignore\n"
+        "                     REPRO_SCALE when this is set)\n"
+        "  --seed S           simulation seed\n"
+        "  --block-bytes B    block size in bytes\n"
+        "  --deadline-sec D   simulated-time deadline\n"
+        "  --out PATH         metrics JSON path (default BENCH_<scenario>.json)\n"
+        "  --quiet            suppress the summary table / CDF dump on stdout\n"
+        "\n"
+        "REPRO_SCALE=ci|full scales paper file sizes (ci: 20%, default).\n";
+}
+
+int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& registry,
+               std::ostream& out, std::ostream& err) {
+  const RunnerArgs args = ParseRunnerArgs(argc, argv);
+  if (!args.ok) {
+    err << "bullet_run: " << args.error << "\n";
+    PrintRunnerUsage(err);
+    return 2;
+  }
+  if (args.help) {
+    PrintRunnerUsage(out);
+    return 0;
+  }
+  if (args.list) {
+    PrintScenarioList(out, registry);
+    return 0;
+  }
+
+  const ScenarioRegistry::Entry* entry = registry.Find(args.scenario);
+  if (entry == nullptr) {
+    err << "bullet_run: unknown scenario '" << args.scenario << "'; --list shows all "
+        << registry.size() << "\n";
+    return 1;
+  }
+
+  const ScenarioReport report = entry->fn(args.options);
+
+  const std::string out_path =
+      args.out_path.empty() ? "BENCH_" + report.scenario() + ".json" : args.out_path;
+  std::ofstream file(out_path);
+  if (!file) {
+    err << "bullet_run: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  WriteReportJson(file, report, args.options);
+  file.close();
+  if (!file) {
+    err << "bullet_run: failed writing " << out_path << "\n";
+    return 1;
+  }
+
+  if (!args.quiet) {
+    out << "### " << entry->name << " — " << entry->description << "\n";
+    const std::vector<CdfSeries> series = report.AsCdfSeries();
+    PrintSummaryTable(out, series);
+    if (!report.scalars().empty()) {
+      out << "\n### scalars\n";
+      for (const auto& [key, value] : report.scalars()) {
+        out << key << " = " << value << "\n";
+      }
+    }
+    out << "\n### CDF series (fraction, seconds)\n";
+    PrintCdf(out, series, 20);
+  }
+  out << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int RunnerMain(int argc, const char* const* argv) {
+  return RunnerMain(argc, argv, ScenarioRegistry::Global(), std::cout, std::cerr);
+}
+
+}  // namespace bullet

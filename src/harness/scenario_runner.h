@@ -1,0 +1,46 @@
+// Command-line driver behind the bullet_run binary. Split from main() so the arg
+// parsing, JSON emission and exit codes are unit-testable.
+
+#ifndef SRC_HARNESS_SCENARIO_RUNNER_H_
+#define SRC_HARNESS_SCENARIO_RUNNER_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/harness/scenario_registry.h"
+
+namespace bullet {
+
+struct RunnerArgs {
+  bool ok = true;          // false => `error` says what was wrong
+  std::string error;
+  bool help = false;
+  bool list = false;
+  bool quiet = false;      // suppress the human-readable tables on stdout
+  std::string scenario;
+  std::string out_path;    // empty => BENCH_<scenario>.json in the working directory
+  ScenarioOptions options;
+};
+
+// Parses bullet_run flags: --list, --scenario NAME, --nodes N, --file-mb F,
+// --seed S, --block-bytes B, --deadline-sec D, --out PATH, --quiet, --help.
+// Both "--flag value" and "--flag=value" forms are accepted.
+RunnerArgs ParseRunnerArgs(int argc, const char* const* argv);
+
+// Serializes a finished report (plus the options that produced it) as JSON.
+void WriteReportJson(std::ostream& os, const ScenarioReport& report,
+                     const ScenarioOptions& options);
+
+void PrintScenarioList(std::ostream& os, const ScenarioRegistry& registry);
+void PrintRunnerUsage(std::ostream& os);
+
+// Full CLI flow against `registry`; returns the process exit code.
+int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& registry,
+               std::ostream& out, std::ostream& err);
+
+// Convenience overload used by the bullet_run main(): global registry, std streams.
+int RunnerMain(int argc, const char* const* argv);
+
+}  // namespace bullet
+
+#endif  // SRC_HARNESS_SCENARIO_RUNNER_H_

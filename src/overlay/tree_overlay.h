@@ -38,8 +38,8 @@ class TreeOverlayProtocol : public DisseminationProtocol {
   // Called for every non-tree, non-RanSub message.
   virtual void OnProtocolMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) = 0;
   // Called for every connection event that is not a tree connection.
-  virtual void OnPeerConnUp(ConnId conn, NodeId peer, bool initiator) {}
-  virtual void OnPeerConnDown(ConnId conn, NodeId peer) {}
+  virtual void OnPeerConnUp(ConnId /*conn*/, NodeId /*peer*/, bool /*initiator*/) {}
+  virtual void OnPeerConnDown(ConnId /*conn*/, NodeId /*peer*/) {}
   // Fired once per RanSub epoch with this node's random subset.
   virtual void OnRanSubEpoch(const std::vector<PeerSummary>& subset) = 0;
   // Advertised summary; protocols may override to add rate information.

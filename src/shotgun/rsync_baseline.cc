@@ -6,7 +6,7 @@ namespace bullet {
 
 // --------------------------------- server ----------------------------------
 
-void RsyncServer::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) {
+void RsyncServer::OnMessage(ConnId conn, NodeId /*from*/, std::unique_ptr<Message> msg) {
   switch (msg->type) {
     case rs::SessionRequestMsg::kType: {
       if (active_sessions_ < config_.max_parallel) {
@@ -44,7 +44,7 @@ void RsyncServer::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> m
   }
 }
 
-void RsyncServer::OnConnDown(ConnId conn, NodeId peer) {
+void RsyncServer::OnConnDown(ConnId conn, NodeId /*peer*/) {
   waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), conn), waiting_.end());
 }
 
@@ -68,13 +68,13 @@ void RsyncServer::FinishSession() {
 
 void RsyncClient::Start() { conn_ = net().Connect(self(), server_); }
 
-void RsyncClient::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
+void RsyncClient::OnConnUp(ConnId conn, NodeId /*peer*/, bool initiator) {
   if (conn == conn_ && initiator) {
     net().Send(conn_, self(), std::make_unique<rs::SessionRequestMsg>());
   }
 }
 
-void RsyncClient::OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) {
+void RsyncClient::OnMessage(ConnId /*conn*/, NodeId /*from*/, std::unique_ptr<Message> msg) {
   switch (msg->type) {
     case rs::SessionGrantMsg::kType: {
       // Compute the signature of the local image (client disk read), then upload it.

@@ -43,8 +43,8 @@ class NetHandler {
  public:
   virtual ~NetHandler() = default;
   // `initiator` is true at the node that called Connect().
-  virtual void OnConnUp(ConnId conn, NodeId peer, bool initiator) {}
-  virtual void OnConnDown(ConnId conn, NodeId peer) {}
+  virtual void OnConnUp(ConnId /*conn*/, NodeId /*peer*/, bool /*initiator*/) {}
+  virtual void OnConnDown(ConnId /*conn*/, NodeId /*peer*/) {}
   virtual void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) = 0;
 };
 

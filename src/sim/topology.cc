@@ -43,7 +43,7 @@ Topology Topology::FullMesh(const MeshParams& params, Rng& rng) {
   return topo;
 }
 
-Topology Topology::ConstrainedAccess(int num_nodes, Rng& rng) {
+Topology Topology::ConstrainedAccess(int num_nodes, Rng& /*rng*/) {
   Topology topo(num_nodes);
   for (NodeId n = 0; n < num_nodes; ++n) {
     topo.uplink(n) = LinkParams{800e3, MsToSim(1), 0.0};

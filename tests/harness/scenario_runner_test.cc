@@ -1,0 +1,142 @@
+#include "src/harness/scenario_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace bullet {
+namespace {
+
+RunnerArgs Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bullet_run");
+  return ParseRunnerArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ParseRunnerArgsTest, ListFlag) {
+  const RunnerArgs args = Parse({"--list"});
+  EXPECT_TRUE(args.ok);
+  EXPECT_TRUE(args.list);
+}
+
+TEST(ParseRunnerArgsTest, ScenarioWithOverrides) {
+  const RunnerArgs args = Parse({"--scenario", "fig04_overall_static", "--nodes", "20",
+                                 "--file-mb=2.5", "--seed=42", "--block-bytes", "8192",
+                                 "--deadline-sec", "600", "--out", "x.json", "--quiet"});
+  ASSERT_TRUE(args.ok) << args.error;
+  EXPECT_EQ(args.scenario, "fig04_overall_static");
+  ASSERT_TRUE(args.options.nodes.has_value());
+  EXPECT_EQ(*args.options.nodes, 20);
+  ASSERT_TRUE(args.options.file_mb.has_value());
+  EXPECT_DOUBLE_EQ(*args.options.file_mb, 2.5);
+  ASSERT_TRUE(args.options.seed.has_value());
+  EXPECT_EQ(*args.options.seed, 42u);
+  ASSERT_TRUE(args.options.block_bytes.has_value());
+  EXPECT_EQ(*args.options.block_bytes, 8192);
+  ASSERT_TRUE(args.options.deadline_sec.has_value());
+  EXPECT_DOUBLE_EQ(*args.options.deadline_sec, 600.0);
+  EXPECT_EQ(args.out_path, "x.json");
+  EXPECT_TRUE(args.quiet);
+}
+
+TEST(ParseRunnerArgsTest, RejectsUnknownFlag) {
+  const RunnerArgs args = Parse({"--scenario", "x", "--frobnicate"});
+  EXPECT_FALSE(args.ok);
+  EXPECT_NE(args.error.find("--frobnicate"), std::string::npos);
+}
+
+TEST(ParseRunnerArgsTest, RejectsBadValues) {
+  EXPECT_FALSE(Parse({"--scenario", "x", "--nodes", "1"}).ok);       // < 2
+  EXPECT_FALSE(Parse({"--scenario", "x", "--nodes", "abc"}).ok);     // not a number
+  EXPECT_FALSE(Parse({"--scenario", "x", "--nodes", "20.7"}).ok);    // fractional
+  EXPECT_FALSE(Parse({"--scenario", "x", "--seed", "-1"}).ok);       // negative unsigned
+  EXPECT_FALSE(Parse({"--scenario", "x", "--seed", " -1"}).ok);      // whitespace-masked sign
+  EXPECT_FALSE(Parse({"--scenario", "x", "--block-bytes", "1e19"}).ok);  // not plain int
+  EXPECT_FALSE(Parse({"--scenario", "x", "--file-mb", "nan"}).ok);   // non-finite
+  EXPECT_FALSE(Parse({"--scenario", "x", "--file-mb", "inf"}).ok);   // non-finite
+  EXPECT_FALSE(Parse({"--scenario", "x", "--file-mb", "-3"}).ok);    // negative
+  EXPECT_FALSE(Parse({"--scenario", "x", "--nodes"}).ok);            // missing value
+  EXPECT_FALSE(Parse({}).ok);                                        // no mode at all
+
+  // Large seeds must round-trip exactly (no float precision loss).
+  const RunnerArgs big = Parse({"--scenario", "x", "--seed", "18446744073709551615"});
+  ASSERT_TRUE(big.ok) << big.error;
+  EXPECT_EQ(*big.options.seed, 18446744073709551615ull);
+}
+
+class RunnerMainTest : public ::testing::Test {
+ protected:
+  RunnerMainTest() {
+    registry_.Register("tiny", "a tiny test scenario", [](const ScenarioOptions& opts) {
+      ScenarioReport report("tiny");
+      report.AddScalar("nodes", opts.nodes.value_or(-1));
+      ScenarioResult result;
+      result.name = "SystemX";
+      result.completion_sec = {1.0, 2.0};
+      result.completed = 2;
+      result.receivers = 2;
+      report.AddCompletion(result);
+      return report;
+    });
+  }
+
+  int Run(std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "bullet_run");
+    return RunnerMain(static_cast<int>(argv.size()), argv.data(), registry_, out_, err_);
+  }
+
+  ScenarioRegistry registry_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(RunnerMainTest, ListPrintsRegisteredScenarios) {
+  EXPECT_EQ(Run({"--list"}), 0);
+  EXPECT_NE(out_.str().find("tiny\ta tiny test scenario"), std::string::npos);
+}
+
+TEST_F(RunnerMainTest, UnknownScenarioFails) {
+  EXPECT_EQ(Run({"--scenario", "missing"}), 1);
+  EXPECT_NE(err_.str().find("unknown scenario 'missing'"), std::string::npos);
+}
+
+TEST_F(RunnerMainTest, BadFlagFailsWithUsage) {
+  EXPECT_EQ(Run({"--bogus"}), 2);
+  EXPECT_NE(err_.str().find("unknown argument"), std::string::npos);
+}
+
+TEST_F(RunnerMainTest, RunWritesJson) {
+  const std::string path = ::testing::TempDir() + "/bullet_runner_test.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(Run({"--scenario", "tiny", "--nodes", "20", "--out", path.c_str(), "--quiet"}), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("\"schema\":\"bullet-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\":\"tiny\""), std::string::npos);
+  EXPECT_NE(json.find("\"requested_options\":{\"nodes\":20}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"SystemX\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":[1,2]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteReportJsonTest, EscapesAndNonFinite) {
+  ScenarioReport report("esc");
+  report.AddScalar("inf", std::numeric_limits<double>::infinity());
+  report.AddSeries("quote\"name", {1.5});
+
+  std::ostringstream os;
+  WriteReportJson(os, report, ScenarioOptions{});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bullet

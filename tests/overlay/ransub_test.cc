@@ -21,7 +21,8 @@ class RanSubOnly : public TreeOverlayProtocol {
   RanSubOnly(const Context& ctx, const FileParams& file, const ControlTree* tree)
       : TreeOverlayProtocol(ctx, file, /*source=*/0, tree, RanSubAgent::Config{}) {}
 
-  void OnProtocolMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) override {}
+  void OnProtocolMessage(ConnId /*conn*/, NodeId /*from*/,
+                         std::unique_ptr<Message> /*msg*/) override {}
   void OnRanSubEpoch(const std::vector<PeerSummary>& subset) override {
     ++epochs;
     last_subset = subset;
