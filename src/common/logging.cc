@@ -1,5 +1,6 @@
 #include "src/common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,7 +29,9 @@ LogLevel ParseEnvLevel() {
   return LogLevel::kOff;
 }
 
-LogLevel g_level = ParseEnvLevel();
+// Atomic so concurrent sweep workers can consult the level while a test (or a
+// future admin surface) flips it; relaxed ordering is enough for a threshold.
+std::atomic<LogLevel> g_level{ParseEnvLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -48,11 +51,13 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GlobalLogLevel() { return g_level; }
+LogLevel GlobalLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetGlobalLogLevel(LogLevel level) { g_level = level; }
+void SetGlobalLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-bool LogEnabled(LogLevel level) { return static_cast<int>(level) >= static_cast<int>(g_level); }
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GlobalLogLevel());
+}
 
 void LogLine(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());

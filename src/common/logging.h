@@ -1,5 +1,7 @@
-// Minimal leveled logging. The emulator is single-threaded per simulation; logging is
-// off by default and enabled via BULLET_LOG=debug|info|warn for debugging runs.
+// Minimal leveled logging. The emulator is single-threaded per simulation, but the
+// sweep engine runs many simulations concurrently, so the global level is atomic and
+// each LogLine is a single stderr write. Logging is off by default and enabled via
+// BULLET_LOG=debug|info|warn for debugging runs.
 
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_

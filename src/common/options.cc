@@ -6,6 +6,9 @@
 namespace bullet {
 
 ReproScale GetReproScale() {
+  // Pure read of the environment, re-evaluated per call so tests can setenv
+  // between runs. getenv is safe from concurrent sweep workers as long as nothing
+  // mutates the environment mid-sweep, which no library code does.
   ReproScale scale;
   const char* env = std::getenv("REPRO_SCALE");
   if (env != nullptr && std::strcmp(env, "full") == 0) {

@@ -37,16 +37,20 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, q);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
     return 0.0;
   }
-  std::sort(values.begin(), values.end());
   q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(values.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 void Ewma::Add(double x) {

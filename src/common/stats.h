@@ -37,6 +37,10 @@ class RunningStats {
 // empty input.
 double Percentile(std::vector<double> values, double q);
 
+// Same, for input the caller already sorted ascending — use when reading several
+// percentiles off one series to sort once instead of per call.
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
 // Exponentially weighted moving average with a configurable gain.
 class Ewma {
  public:

@@ -22,6 +22,10 @@ void ApplyScenarioOptions(const ScenarioOptions& opts, ScenarioConfig* cfg) {
   if (opts.deadline_sec) {
     cfg->deadline = SecToSim(*opts.deadline_sec);
   }
+  if (opts.loss) {
+    cfg->loss_min = 0.0;
+    cfg->loss_max = *opts.loss;
+  }
 }
 
 void ScenarioReport::AddCompletion(const ScenarioResult& result) {

@@ -26,6 +26,9 @@ struct ScenarioOptions {
   std::optional<uint64_t> seed;
   std::optional<int64_t> block_bytes;
   std::optional<double> deadline_sec;
+  // Per-link loss rates become uniform in [0, loss] (the Section 4.1 process with
+  // a caller-chosen ceiling); 0 disables loss entirely.
+  std::optional<double> loss;
 };
 
 // Applies the generic overrides onto a scenario's default config.
@@ -68,6 +71,11 @@ class ScenarioReport {
   std::vector<std::pair<std::string, double>> scalars_;
 };
 
+// Registered scenario functions must be self-contained: everything a run touches
+// (RNG, topology, network, metrics) is owned by the run and seeded from its
+// options. The sweep engine relies on this to execute many runs concurrently —
+// the registry itself is only mutated by static initializers before main() and is
+// read-only afterwards, so concurrent Find/List need no locking.
 class ScenarioRegistry {
  public:
   using RunFn = std::function<ScenarioReport(const ScenarioOptions&)>;

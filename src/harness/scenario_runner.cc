@@ -4,13 +4,16 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "src/common/cdf.h"
 #include "src/common/stats.h"
+#include "src/harness/flag_parse.h"
 #include "src/harness/json_writer.h"
+#include "src/harness/sweep.h"
 
 namespace bullet {
 namespace {
@@ -36,51 +39,10 @@ bool ConsumeString(int argc, const char* const* argv, int* i, const std::string&
   return false;
 }
 
-// Strict full-string parses: no leading whitespace (strto* would skip it and
-// accept e.g. " -1" for unsigned), no trailing garbage, no fractional integers,
-// no out-of-range values, no nan/inf (no float round-trip, no UB casts).
-bool ParseInt64(const std::string& text, int64_t* out) {
-  if (text.empty() || !(std::isdigit(static_cast<unsigned char>(text[0])) || text[0] == '-')) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size() || errno != 0) {
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-bool ParseUint64(const std::string& text, uint64_t* out) {
-  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size() || errno != 0) {
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-bool ParseDouble(const std::string& text, double* out) {
-  if (text.empty() || !(std::isdigit(static_cast<unsigned char>(text[0])) || text[0] == '-' ||
-                        text[0] == '.')) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size() || errno != 0 || !std::isfinite(v)) {
-    return false;
-  }
-  *out = v;
-  return true;
-}
+// Strict parses shared with the sweep grammar; see flag_parse.h.
+using bullet::ParseStrictDouble;
+using bullet::ParseStrictInt64;
+using bullet::ParseStrictUint64;
 
 }  // namespace
 
@@ -109,7 +71,7 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
     } else if (MatchesFlag(arg, "--nodes")) {
       std::string text;
       int64_t v = 0;
-      if (!ConsumeString(argc, argv, &i, arg, "--nodes", &text) || !ParseInt64(text, &v) ||
+      if (!ConsumeString(argc, argv, &i, arg, "--nodes", &text) || !ParseStrictInt64(text, &v) ||
           v < 2 || v > 1000000) {
         args.ok = false;
         args.error = "--nodes requires an integer in [2, 1000000]";
@@ -119,7 +81,7 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
     } else if (MatchesFlag(arg, "--file-mb")) {
       std::string text;
       double v = 0.0;
-      if (!ConsumeString(argc, argv, &i, arg, "--file-mb", &text) || !ParseDouble(text, &v) ||
+      if (!ConsumeString(argc, argv, &i, arg, "--file-mb", &text) || !ParseStrictDouble(text, &v) ||
           v <= 0.0) {
         args.ok = false;
         args.error = "--file-mb requires a positive number";
@@ -129,7 +91,7 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
     } else if (MatchesFlag(arg, "--seed")) {
       std::string text;
       uint64_t v = 0;
-      if (!ConsumeString(argc, argv, &i, arg, "--seed", &text) || !ParseUint64(text, &v)) {
+      if (!ConsumeString(argc, argv, &i, arg, "--seed", &text) || !ParseStrictUint64(text, &v)) {
         args.ok = false;
         args.error = "--seed requires a non-negative integer";
         return args;
@@ -138,7 +100,7 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
     } else if (MatchesFlag(arg, "--block-bytes")) {
       std::string text;
       int64_t v = 0;
-      if (!ConsumeString(argc, argv, &i, arg, "--block-bytes", &text) || !ParseInt64(text, &v) ||
+      if (!ConsumeString(argc, argv, &i, arg, "--block-bytes", &text) || !ParseStrictInt64(text, &v) ||
           v < 512) {
         args.ok = false;
         args.error = "--block-bytes requires an integer >= 512";
@@ -149,19 +111,81 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
       std::string text;
       double v = 0.0;
       if (!ConsumeString(argc, argv, &i, arg, "--deadline-sec", &text) ||
-          !ParseDouble(text, &v) || v <= 0.0) {
+          !ParseStrictDouble(text, &v) || v <= 0.0) {
         args.ok = false;
         args.error = "--deadline-sec requires a positive number";
         return args;
       }
       args.options.deadline_sec = v;
+    } else if (MatchesFlag(arg, "--loss")) {
+      std::string text;
+      double v = 0.0;
+      if (!ConsumeString(argc, argv, &i, arg, "--loss", &text) || !ParseStrictDouble(text, &v) ||
+          v < 0.0 || v > 1.0) {
+        args.ok = false;
+        args.error = "--loss requires a number in [0, 1]";
+        return args;
+      }
+      args.options.loss = v;
+    } else if (MatchesFlag(arg, "--sweep")) {
+      std::string text;
+      SweepAxis axis;
+      std::string axis_error;
+      if (!ConsumeString(argc, argv, &i, arg, "--sweep", &text) ||
+          !ParseSweepAxisSpec(text, &axis, &axis_error)) {
+        args.ok = false;
+        args.error = axis_error.empty() ? "--sweep requires key=v1,v2,..." : axis_error;
+        return args;
+      }
+      args.sweep_axes.push_back(std::move(axis));
+    } else if (MatchesFlag(arg, "--sweep-file")) {
+      if (!ConsumeString(argc, argv, &i, arg, "--sweep-file", &args.sweep_file)) {
+        args.ok = false;
+        args.error = "--sweep-file requires a path";
+        return args;
+      }
+    } else if (MatchesFlag(arg, "--sweep-name")) {
+      std::string text;
+      if (!ConsumeString(argc, argv, &i, arg, "--sweep-name", &text)) {
+        args.ok = false;
+        args.error = "--sweep-name requires a value";
+        return args;
+      }
+      args.sweep_name = text;
+    } else if (MatchesFlag(arg, "--repeats")) {
+      std::string text;
+      int64_t v = 0;
+      if (!ConsumeString(argc, argv, &i, arg, "--repeats", &text) || !ParseStrictInt64(text, &v) ||
+          v < 1 || v > 10000) {
+        args.ok = false;
+        args.error = "--repeats requires an integer in [1, 10000]";
+        return args;
+      }
+      args.repeats = static_cast<int>(v);
+    } else if (MatchesFlag(arg, "--jobs")) {
+      std::string text;
+      int64_t v = 0;
+      if (!ConsumeString(argc, argv, &i, arg, "--jobs", &text) || !ParseStrictInt64(text, &v) ||
+          v < 0 || v > 1024) {
+        args.ok = false;
+        args.error = "--jobs requires an integer in [0, 1024] (0 = auto)";
+        return args;
+      }
+      args.jobs = static_cast<int>(v);
+    } else if (MatchesFlag(arg, "--out-dir")) {
+      if (!ConsumeString(argc, argv, &i, arg, "--out-dir", &args.out_dir)) {
+        args.ok = false;
+        args.error = "--out-dir requires a path";
+        return args;
+      }
     } else {
       args.ok = false;
       args.error = "unknown argument: " + arg;
       return args;
     }
   }
-  if (!args.help && !args.list && args.scenario.empty()) {
+  // A sweep file may name the scenario itself; everything else needs --scenario.
+  if (!args.help && !args.list && args.scenario.empty() && args.sweep_file.empty()) {
     args.ok = false;
     args.error = "one of --list or --scenario NAME is required";
   }
@@ -242,20 +266,167 @@ void PrintRunnerUsage(std::ostream& os) {
         "usage:\n"
         "  bullet_run --list\n"
         "  bullet_run --scenario NAME [overrides]\n"
+        "  bullet_run --scenario NAME --sweep key=v1,v2 [--sweep ...] [--repeats R]\n"
+        "  bullet_run --sweep-file PATH [overrides]\n"
         "\n"
         "overrides (defaults come from the scenario; fixed-setup scenarios ignore\n"
         "overrides that do not apply, see bench/*.cc):\n"
         "  --nodes N          number of participants\n"
         "  --file-mb F        transferred file size in MB (pre-scaled scenarios ignore\n"
         "                     REPRO_SCALE when this is set)\n"
-        "  --seed S           simulation seed\n"
+        "  --seed S           simulation seed (sweeps: base seed for stream derivation)\n"
         "  --block-bytes B    block size in bytes\n"
         "  --deadline-sec D   simulated-time deadline\n"
-        "  --out PATH         metrics JSON path (default BENCH_<scenario>.json)\n"
+        "  --loss L           per-link loss rates become uniform in [0, L]\n"
+        "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
+        "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
+        "\n"
+        "sweep mode (runs scenario × cartesian grid × repeats on a worker pool;\n"
+        "aggregate JSON is byte-identical for a given spec regardless of --jobs):\n"
+        "  --sweep key=v1,..  one grid axis (nodes, file-mb, block-bytes,\n"
+        "                     deadline-sec, loss); repeat the flag for more axes\n"
+        "  --sweep-file PATH  spec file (scenario/name/repeats/seed/set/sweep lines);\n"
+        "                     command-line flags override file directives\n"
+        "  --repeats R        runs per grid point (default 1)\n"
+        "  --jobs J           worker threads (default 0 = hardware concurrency)\n"
+        "  --sweep-name TAG   output tag (default scenario name)\n"
+        "  --out-dir DIR      directory for sweep JSON artifacts (default .)\n"
         "\n"
         "REPRO_SCALE=ci|full scales paper file sizes (ci: 20%, default).\n";
 }
+
+namespace {
+
+// Layers the sweep-related CLI flags over whatever the sweep file provided.
+bool BuildSweepSpec(const RunnerArgs& args, SweepSpec* spec, std::string* error) {
+  if (!args.sweep_file.empty()) {
+    std::ifstream in(args.sweep_file);
+    if (!in) {
+      *error = "cannot read sweep file " + args.sweep_file;
+      return false;
+    }
+    std::string parse_error;
+    if (!ParseSweepFile(in, spec, &parse_error)) {
+      *error = args.sweep_file + ": " + parse_error;
+      return false;
+    }
+  }
+  if (!args.scenario.empty()) {
+    spec->scenario = args.scenario;
+  }
+  if (spec->scenario.empty()) {
+    *error = "sweep names no scenario (use --scenario or a 'scenario' line)";
+    return false;
+  }
+  if (args.sweep_name) {
+    spec->name = *args.sweep_name;
+  }
+  if (args.repeats) {
+    spec->repeats = *args.repeats;
+  }
+  for (const SweepAxis& axis : args.sweep_axes) {
+    spec->axes.push_back(axis);
+  }
+  // Catches duplicates both among --sweep flags and between flags and file axes.
+  std::string duplicate;
+  if (FindDuplicateAxisKey(spec->axes, &duplicate)) {
+    *error = "duplicate sweep axis '" + duplicate + "'";
+    return false;
+  }
+  // Fixed CLI overrides become the base point; the seed doubles as the stream-
+  // derivation base. Null fields keep whatever the file's `set`/`seed` lines said.
+  const ScenarioOptions& o = args.options;
+  if (o.nodes) {
+    spec->base.nodes = o.nodes;
+  }
+  if (o.file_mb) {
+    spec->base.file_mb = o.file_mb;
+  }
+  if (o.block_bytes) {
+    spec->base.block_bytes = o.block_bytes;
+  }
+  if (o.deadline_sec) {
+    spec->base.deadline_sec = o.deadline_sec;
+  }
+  if (o.loss) {
+    spec->base.loss = o.loss;
+  }
+  if (o.seed) {
+    spec->base_seed = *o.seed;
+  }
+  return true;
+}
+
+int RunSweepMode(const RunnerArgs& args, const ScenarioRegistry& registry, std::ostream& out,
+                 std::ostream& err) {
+  SweepSpec spec;
+  std::string error;
+  if (!BuildSweepSpec(args, &spec, &error)) {
+    err << "bullet_run: " << error << "\n";
+    return 2;
+  }
+  if (registry.Find(spec.scenario) == nullptr) {
+    err << "bullet_run: unknown scenario '" << spec.scenario << "'; --list shows all "
+        << registry.size() << "\n";
+    return 2;
+  }
+
+  const SweepRunOutcome outcome = RunSweep(spec, registry, args.jobs);
+  if (!outcome.ok) {
+    err << "bullet_run: sweep failed: " << outcome.error << "\n";
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(args.out_dir, ec);
+  if (ec) {
+    err << "bullet_run: cannot create " << args.out_dir << ": " << ec.message() << "\n";
+    return 1;
+  }
+  const auto write_json = [&err](const std::string& path, const auto& emit) {
+    std::ofstream file(path);
+    if (file) {
+      emit(file);
+      file.close();
+    }
+    if (!file) {
+      err << "bullet_run: failed writing " << path << "\n";
+      return false;
+    }
+    return true;
+  };
+
+  // Per-run v1 reports first, then the v2 aggregate the CI gate diffs.
+  const std::string tag = spec.OutputName();
+  for (const ScenarioContext& ctx : outcome.runs) {
+    const std::string path = args.out_dir + "/BENCH_sweep_" + tag + "_p" +
+                             std::to_string(ctx.point.point_index) + "_r" +
+                             std::to_string(ctx.point.repeat) + ".json";
+    if (!write_json(path, [&ctx](std::ostream& os) {
+          WriteReportJson(os, *ctx.report, ctx.point.options);
+        })) {
+      return 1;
+    }
+  }
+  const std::string aggregate_path =
+      args.out_path.empty() ? args.out_dir + "/BENCH_sweep_" + tag + ".json" : args.out_path;
+  if (!write_json(aggregate_path,
+                  [&outcome](std::ostream& os) { WriteSweepJson(os, outcome); })) {
+    return 1;
+  }
+
+  if (!args.quiet) {
+    const size_t grid = outcome.runs.size() / static_cast<size_t>(spec.repeats);
+    out << "### sweep " << tag << " — scenario " << spec.scenario << ": " << grid
+        << " grid points x " << spec.repeats << " repeats = " << outcome.runs.size()
+        << " runs on " << outcome.jobs_used << " worker(s) in " << outcome.wall_sec << " s\n";
+  }
+  out << "wrote " << aggregate_path << "\n";
+  return 0;
+}
+
+}  // namespace
 
 int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& registry,
                std::ostream& out, std::ostream& err) {
@@ -273,12 +444,17 @@ int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& regist
     PrintScenarioList(out, registry);
     return 0;
   }
+  if (args.sweep_mode()) {
+    return RunSweepMode(args, registry, out, err);
+  }
 
   const ScenarioRegistry::Entry* entry = registry.Find(args.scenario);
   if (entry == nullptr) {
+    // Usage-class error: exit 2 on stderr, like bad flags, so CI scripts and
+    // pipelines can tell "you asked wrong" from "the run failed".
     err << "bullet_run: unknown scenario '" << args.scenario << "'; --list shows all "
         << registry.size() << "\n";
-    return 1;
+    return 2;
   }
 
   const ScenarioReport report = entry->fn(args.options);

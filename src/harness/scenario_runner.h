@@ -4,10 +4,13 @@
 #ifndef SRC_HARNESS_SCENARIO_RUNNER_H_
 #define SRC_HARNESS_SCENARIO_RUNNER_H_
 
+#include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/harness/scenario_registry.h"
+#include "src/harness/sweep.h"
 
 namespace bullet {
 
@@ -20,10 +23,25 @@ struct RunnerArgs {
   std::string scenario;
   std::string out_path;    // empty => BENCH_<scenario>.json in the working directory
   ScenarioOptions options;
+
+  // Sweep mode (any of --sweep/--sweep-file/--repeats engages it): the scenario
+  // runs over a parameter grid on a worker pool instead of once.
+  std::vector<SweepAxis> sweep_axes;       // parsed --sweep arguments, in order
+  std::string sweep_file;                  // --sweep-file PATH
+  std::optional<int> repeats;              // --repeats N
+  std::optional<std::string> sweep_name;   // --sweep-name TAG
+  int jobs = 0;                            // --jobs N; 0 = hardware concurrency
+  std::string out_dir = ".";               // --out-dir for sweep artifacts
+
+  bool sweep_mode() const {
+    return !sweep_axes.empty() || !sweep_file.empty() || repeats.has_value();
+  }
 };
 
 // Parses bullet_run flags: --list, --scenario NAME, --nodes N, --file-mb F,
-// --seed S, --block-bytes B, --deadline-sec D, --out PATH, --quiet, --help.
+// --seed S, --block-bytes B, --deadline-sec D, --loss L, --out PATH, --quiet,
+// --help, and the sweep flags --sweep key=v1,v2 (repeatable), --sweep-file PATH,
+// --repeats N, --jobs N, --sweep-name TAG, --out-dir DIR.
 // Both "--flag value" and "--flag=value" forms are accepted.
 RunnerArgs ParseRunnerArgs(int argc, const char* const* argv);
 

@@ -1,0 +1,417 @@
+#include "src/harness/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/harness/flag_parse.h"
+#include "src/harness/json_writer.h"
+
+namespace bullet {
+namespace {
+
+bool IsIntegral(double v) { return v == std::floor(v); }
+
+// Validates one axis value against the same ranges the CLI enforces, so a sweep
+// cannot construct configurations a single run would reject.
+bool ValidateParam(const std::string& key, double value, std::string* error) {
+  if (key == "nodes") {
+    if (!IsIntegral(value) || value < 2 || value > 1000000) {
+      *error = "nodes values must be integers in [2, 1000000]";
+      return false;
+    }
+  } else if (key == "file-mb") {
+    if (value <= 0.0) {
+      *error = "file-mb values must be positive";
+      return false;
+    }
+  } else if (key == "block-bytes") {
+    if (!IsIntegral(value) || value < 512) {
+      *error = "block-bytes values must be integers >= 512";
+      return false;
+    }
+  } else if (key == "deadline-sec") {
+    if (value <= 0.0) {
+      *error = "deadline-sec values must be positive";
+      return false;
+    }
+  } else if (key == "loss") {
+    if (value < 0.0 || value > 1.0) {
+      *error = "loss values must be in [0, 1]";
+      return false;
+    }
+  } else {
+    *error = "unknown sweep key '" + key +
+             "' (supported: nodes, file-mb, block-bytes, deadline-sec, loss)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t DeriveSweepSeed(uint64_t base_seed, int point_index, int repeat) {
+  // Mix the three coordinates through SplitMix64 twice so that adjacent indices
+  // (and adjacent base seeds) land on decorrelated streams. The +1 offsets keep
+  // (point 0, repeat 0) from collapsing onto the raw base seed.
+  uint64_t state = base_seed;
+  state ^= 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(point_index) + 1);
+  state ^= 0xbf58476d1ce4e5b9ull * (static_cast<uint64_t>(repeat) + 1);
+  SplitMix64(state);
+  return SplitMix64(state);
+}
+
+bool ParseSweepAxisSpec(const std::string& text, SweepAxis* axis, std::string* error) {
+  const size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size()) {
+    *error = "sweep axis must look like key=v1,v2,... (got '" + text + "')";
+    return false;
+  }
+  SweepAxis parsed;
+  parsed.key = text.substr(0, eq);
+
+  std::string values = text.substr(eq + 1);
+  size_t start = 0;
+  while (start <= values.size()) {
+    const size_t comma = values.find(',', start);
+    const std::string item =
+        values.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    double v = 0.0;
+    if (!ParseStrictDouble(item, &v)) {
+      *error = "bad value '" + item + "' for sweep axis '" + parsed.key + "'";
+      return false;
+    }
+    if (!ValidateParam(parsed.key, v, error)) {
+      return false;
+    }
+    parsed.values.push_back(v);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (parsed.values.empty()) {
+    *error = "sweep axis '" + parsed.key + "' has no values";
+    return false;
+  }
+  *axis = std::move(parsed);
+  return true;
+}
+
+bool ParseSweepFile(std::istream& in, SweepSpec* spec, std::string* error) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) {
+      continue;  // blank / comment-only line
+    }
+    std::string rest;
+    tokens >> rest;
+    std::string extra;
+    if (tokens >> extra) {
+      *error = "line " + std::to_string(lineno) + ": trailing text after '" + rest + "'";
+      return false;
+    }
+    const auto fail = [&](const std::string& what) {
+      *error = "line " + std::to_string(lineno) + ": " + what;
+      return false;
+    };
+    if (directive == "scenario") {
+      if (rest.empty()) {
+        return fail("scenario needs a name");
+      }
+      spec->scenario = rest;
+    } else if (directive == "name") {
+      if (rest.empty()) {
+        return fail("name needs a value");
+      }
+      spec->name = rest;
+    } else if (directive == "repeats") {
+      double v = 0.0;
+      if (!ParseStrictDouble(rest, &v) || !IsIntegral(v) || v < 1 || v > 10000) {
+        return fail("repeats needs an integer in [1, 10000]");
+      }
+      spec->repeats = static_cast<int>(v);
+    } else if (directive == "seed") {
+      // Exact 64-bit parse, matching --seed: a double round-trip would corrupt
+      // seeds above 2^53 and silently diverge file specs from CLI specs.
+      uint64_t v = 0;
+      if (!ParseStrictUint64(rest, &v)) {
+        return fail("seed needs a non-negative integer");
+      }
+      spec->base_seed = v;
+    } else if (directive == "set") {
+      SweepAxis axis;
+      std::string axis_error;
+      if (!ParseSweepAxisSpec(rest, &axis, &axis_error) || axis.values.size() != 1) {
+        return fail(axis_error.empty() ? "set needs exactly one key=value" : axis_error);
+      }
+      ApplySweepParam(axis.key, axis.values[0], &spec->base);
+    } else if (directive == "sweep") {
+      SweepAxis axis;
+      std::string axis_error;
+      if (!ParseSweepAxisSpec(rest, &axis, &axis_error)) {
+        return fail(axis_error);
+      }
+      for (const SweepAxis& existing : spec->axes) {
+        if (existing.key == axis.key) {
+          return fail("duplicate sweep axis '" + axis.key + "'");
+        }
+      }
+      spec->axes.push_back(std::move(axis));
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+  return true;
+}
+
+bool ApplySweepParam(const std::string& key, double value, ScenarioOptions* options) {
+  if (key == "nodes") {
+    options->nodes = static_cast<int>(value);
+  } else if (key == "file-mb") {
+    options->file_mb = value;
+  } else if (key == "block-bytes") {
+    options->block_bytes = static_cast<int64_t>(value);
+  } else if (key == "deadline-sec") {
+    options->deadline_sec = value;
+  } else if (key == "loss") {
+    options->loss = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool FindDuplicateAxisKey(const std::vector<SweepAxis>& axes, std::string* key) {
+  for (size_t a = 0; a < axes.size(); ++a) {
+    for (size_t b = a + 1; b < axes.size(); ++b) {
+      if (axes[a].key == axes[b].key) {
+        *key = axes[a].key;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<SweepPoint> ExpandSweepGrid(const SweepSpec& spec) {
+  size_t grid = 1;
+  for (const SweepAxis& axis : spec.axes) {
+    grid *= axis.values.size();
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(grid * static_cast<size_t>(spec.repeats));
+  std::vector<size_t> idx(spec.axes.size(), 0);
+  for (size_t cell = 0; cell < grid; ++cell) {
+    // Decode `cell` into per-axis indices, axis 0 slowest (row-major).
+    size_t rem = cell;
+    for (size_t a = spec.axes.size(); a-- > 0;) {
+      idx[a] = rem % spec.axes[a].values.size();
+      rem /= spec.axes[a].values.size();
+    }
+    for (int r = 0; r < spec.repeats; ++r) {
+      SweepPoint p;
+      p.point_index = static_cast<int>(cell);
+      p.repeat = r;
+      p.seed = DeriveSweepSeed(spec.base_seed, p.point_index, r);
+      p.options = spec.base;
+      for (size_t a = 0; a < spec.axes.size(); ++a) {
+        const double v = spec.axes[a].values[idx[a]];
+        p.params.emplace_back(spec.axes[a].key, v);
+        ApplySweepParam(spec.axes[a].key, v, &p.options);
+      }
+      p.options.seed = p.seed;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+SweepRunOutcome RunSweep(const SweepSpec& spec, const ScenarioRegistry& registry, int jobs) {
+  SweepRunOutcome outcome;
+  outcome.spec = spec;
+  if (spec.scenario.empty()) {
+    outcome.error = "sweep has no scenario";
+    return outcome;
+  }
+  const ScenarioRegistry::Entry* entry = registry.Find(spec.scenario);
+  if (entry == nullptr) {
+    outcome.error = "unknown scenario '" + spec.scenario + "'";
+    return outcome;
+  }
+  if (spec.repeats < 1) {
+    outcome.error = "repeats must be >= 1";
+    return outcome;
+  }
+  std::string duplicate;
+  if (FindDuplicateAxisKey(spec.axes, &duplicate)) {
+    outcome.error = "duplicate sweep axis '" + duplicate + "'";
+    return outcome;
+  }
+
+  std::vector<SweepPoint> points = ExpandSweepGrid(spec);
+  outcome.runs.resize(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    outcome.runs[i].point = std::move(points[i]);
+  }
+
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) {
+      jobs = 1;
+    }
+  }
+  jobs = std::min<int>(jobs, static_cast<int>(outcome.runs.size()));
+  jobs = std::max(jobs, 1);
+  outcome.jobs_used = jobs;
+
+  const auto start = std::chrono::steady_clock::now();
+  // Each worker claims runs off a shared counter and writes only into its own
+  // claimed ScenarioContext slots, so the result layout (and therefore the
+  // aggregate JSON) is independent of scheduling.
+  std::atomic<size_t> next{0};
+  const auto worker = [&]() {
+    for (size_t i = next.fetch_add(1); i < outcome.runs.size(); i = next.fetch_add(1)) {
+      ScenarioContext& ctx = outcome.runs[i];
+      try {
+        ctx.report = entry->fn(ctx.point.options);
+      } catch (const std::exception& e) {
+        ctx.error = e.what();
+      } catch (...) {
+        ctx.error = "unknown exception";
+      }
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+  outcome.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  for (const ScenarioContext& ctx : outcome.runs) {
+    if (!ctx.error.empty()) {
+      outcome.error = "point " + std::to_string(ctx.point.point_index) + " repeat " +
+                      std::to_string(ctx.point.repeat) + " failed: " + ctx.error;
+      return outcome;
+    }
+  }
+  outcome.ok = true;
+  return outcome;
+}
+
+std::map<std::string, double> FlattenReportMetrics(const ScenarioReport& report) {
+  std::map<std::string, double> flat;
+  for (const auto& [key, value] : report.scalars()) {
+    flat[key] = value;
+  }
+  for (const SeriesReport& s : report.series()) {
+    std::vector<double> sorted = s.samples;
+    std::sort(sorted.begin(), sorted.end());
+    flat[s.name + ".count"] = static_cast<double>(sorted.size());
+    flat[s.name + ".p05_s"] = PercentileSorted(sorted, 0.05);
+    flat[s.name + ".p50_s"] = PercentileSorted(sorted, 0.50);
+    flat[s.name + ".p90_s"] = PercentileSorted(sorted, 0.90);
+    flat[s.name + ".max_s"] = PercentileSorted(sorted, 1.0);
+    for (const auto& [key, value] : s.metrics) {
+      flat[s.name + "." + key] = value;
+    }
+  }
+  return flat;
+}
+
+void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome) {
+  const SweepSpec& spec = outcome.spec;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("schema", "bullet-bench-v2");
+  json.Field("sweep", spec.OutputName());
+  json.Field("scenario", spec.scenario);
+  json.Field("base_seed", spec.base_seed);
+  json.Field("repeats", static_cast<int64_t>(spec.repeats));
+  json.Field("repro_scale", GetReproScale().file_scale);
+
+  json.Key("axes").BeginArray();
+  for (const SweepAxis& axis : spec.axes) {
+    json.BeginObject();
+    json.Field("key", axis.key);
+    json.Key("values").BeginArray();
+    for (const double v : axis.values) {
+      json.Number(v);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("points").BeginArray();
+  // Runs are grid-major / repeat-minor, so each point's repeats are contiguous.
+  for (size_t i = 0; i < outcome.runs.size(); i += static_cast<size_t>(spec.repeats)) {
+    const ScenarioContext& first = outcome.runs[i];
+    json.BeginObject();
+    json.Field("point_index", static_cast<int64_t>(first.point.point_index));
+    json.Key("params").BeginObject();
+    for (const auto& [key, value] : first.point.params) {
+      json.Field(key, value);
+    }
+    json.EndObject();
+    json.Key("seeds").BeginArray();
+    for (int r = 0; r < spec.repeats; ++r) {
+      json.Uint(outcome.runs[i + static_cast<size_t>(r)].point.seed);
+    }
+    json.EndArray();
+
+    // metric name -> one value per repeat (sorted map ⇒ stable emission order).
+    std::map<std::string, std::vector<double>> samples;
+    for (int r = 0; r < spec.repeats; ++r) {
+      const ScenarioContext& ctx = outcome.runs[i + static_cast<size_t>(r)];
+      if (!ctx.report) {
+        continue;
+      }
+      for (const auto& [key, value] : FlattenReportMetrics(*ctx.report)) {
+        samples[key].push_back(value);
+      }
+    }
+    json.Key("metrics").BeginObject();
+    for (auto& [key, values] : samples) {
+      std::sort(values.begin(), values.end());
+      json.Key(key).BeginObject();
+      json.Field("median", PercentileSorted(values, 0.50));
+      json.Field("p10", PercentileSorted(values, 0.10));
+      json.Field("p90", PercentileSorted(values, 0.90));
+      json.EndObject();
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  os << "\n";
+}
+
+}  // namespace bullet

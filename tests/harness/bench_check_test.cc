@@ -1,0 +1,157 @@
+#include "src/harness/bench_check.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace bullet {
+namespace {
+
+// A two-point bullet-bench-v2 document with one metric band per point.
+std::string Doc(double p0_median, double p1_median, const char* schema = "bullet-bench-v2",
+                const char* scenario = "fig04") {
+  std::ostringstream os;
+  os << R"({"schema":")" << schema << R"(","sweep":"ci","scenario":")" << scenario
+     << R"(","base_seed":41,"repeats":2,"points":[)"
+     << R"({"point_index":0,"params":{"nodes":20},"metrics":{"Sys.p50_s":{"median":)"
+     << p0_median << R"(,"p10":1,"p90":2}}},)"
+     << R"({"point_index":1,"params":{"nodes":50},"metrics":{"Sys.p50_s":{"median":)"
+     << p1_median << R"(,"p10":1,"p90":2}}}]})";
+  return os.str();
+}
+
+JsonValue Parse(const std::string& text) {
+  JsonValue value;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &value, &error)) << error;
+  return value;
+}
+
+int Compare(const std::string& baseline, const std::string& current,
+            const BenchCheckOptions& opts, std::string* log_out = nullptr) {
+  std::ostringstream log;
+  const int rc = CompareSweepDocs(Parse(baseline), Parse(current), opts, log);
+  if (log_out != nullptr) {
+    *log_out = log.str();
+  }
+  return rc;
+}
+
+TEST(BenchCheckTest, PassesWithinTolerance) {
+  BenchCheckOptions opts;
+  opts.rel_tol = 0.25;
+  // 10% drift on both points: inside the 25% band.
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), Doc(11.0, 22.0), opts), kBenchCheckOk);
+  // Identical documents always pass.
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), Doc(10.0, 20.0), opts), kBenchCheckOk);
+}
+
+TEST(BenchCheckTest, FailsOutsideTolerance) {
+  BenchCheckOptions opts;
+  opts.rel_tol = 0.25;
+  std::string log;
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), Doc(13.0, 20.0), opts, &log), kBenchCheckRegression);
+  EXPECT_NE(log.find("FAIL point {nodes=20} Sys.p50_s"), std::string::npos);
+  EXPECT_NE(log.find("1 out of tolerance"), std::string::npos);
+  // Regressions in either direction count: a suspiciously faster run still trips
+  // the gate (it usually means the workload silently shrank).
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), Doc(7.0, 20.0), opts), kBenchCheckRegression);
+}
+
+TEST(BenchCheckTest, PerMetricToleranceOverride) {
+  BenchCheckOptions opts;
+  opts.rel_tol = 0.05;
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), Doc(12.0, 20.0), opts), kBenchCheckRegression);
+  opts.metric_rel_tol["Sys.p50_s"] = 0.5;
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), Doc(12.0, 20.0), opts), kBenchCheckOk);
+}
+
+TEST(BenchCheckTest, AbsoluteFloorForTinyBaselines) {
+  BenchCheckOptions opts;
+  opts.rel_tol = 0.25;
+  opts.abs_tol = 0.5;
+  // Relative band on a 0.0 baseline is empty; the absolute floor keeps noise-level
+  // metrics from flapping.
+  EXPECT_EQ(Compare(Doc(0.0, 20.0), Doc(0.4, 20.0), opts), kBenchCheckOk);
+  EXPECT_EQ(Compare(Doc(0.0, 20.0), Doc(0.6, 20.0), opts), kBenchCheckRegression);
+}
+
+TEST(BenchCheckTest, MissingMetricIsRegression) {
+  BenchCheckOptions opts;
+  const std::string current =
+      R"({"schema":"bullet-bench-v2","scenario":"fig04","points":[)"
+      R"({"point_index":0,"params":{"nodes":20},"metrics":{}},)"
+      R"({"point_index":1,"params":{"nodes":50},"metrics":{"Sys.p50_s":{"median":20}}}]})";
+  std::string log;
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), current, opts, &log), kBenchCheckRegression);
+  EXPECT_NE(log.find("metric missing"), std::string::npos);
+}
+
+TEST(BenchCheckTest, MissingPointIsRegression) {
+  BenchCheckOptions opts;
+  const std::string current =
+      R"({"schema":"bullet-bench-v2","scenario":"fig04","points":[)"
+      R"({"point_index":0,"params":{"nodes":20},"metrics":{"Sys.p50_s":{"median":10}}}]})";
+  std::string log;
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), current, opts, &log), kBenchCheckRegression);
+  EXPECT_NE(log.find("missing from current sweep"), std::string::npos);
+}
+
+TEST(BenchCheckTest, ExtraCurrentMetricsAndPointsAreIgnored) {
+  BenchCheckOptions opts;
+  const std::string current =
+      R"({"schema":"bullet-bench-v2","scenario":"fig04","points":[)"
+      R"({"point_index":0,"params":{"nodes":20},)"
+      R"("metrics":{"Sys.p50_s":{"median":10},"New.p50_s":{"median":99}}},)"
+      R"({"point_index":1,"params":{"nodes":50},"metrics":{"Sys.p50_s":{"median":20}}},)"
+      R"({"point_index":2,"params":{"nodes":80},"metrics":{"Sys.p50_s":{"median":77}}}]})";
+  EXPECT_EQ(Compare(Doc(10.0, 20.0), current, opts), kBenchCheckOk);
+}
+
+TEST(BenchCheckTest, IncomparableSweepParametersAreBadInput) {
+  BenchCheckOptions opts;
+  const auto doc = [](const char* preamble) {
+    return std::string(R"({"schema":"bullet-bench-v2","scenario":"fig04",)") + preamble +
+           R"("points":[{"point_index":0,"params":{"nodes":20},)"
+           R"("metrics":{"Sys.p50_s":{"median":10}}}]})";
+  };
+  const std::string base = doc(R"("base_seed":41,"repeats":2,"repro_scale":0.2,)");
+  // Differing seed, repeats, or REPRO_SCALE means the sweeps measured different
+  // things — diagnose, don't report tolerance failures.
+  std::string log;
+  EXPECT_EQ(Compare(base, doc(R"("base_seed":42,"repeats":2,"repro_scale":0.2,)"), opts, &log),
+            kBenchCheckBadInput);
+  EXPECT_NE(log.find("base_seed mismatch"), std::string::npos);
+  EXPECT_EQ(Compare(base, doc(R"("base_seed":41,"repeats":3,"repro_scale":0.2,)"), opts),
+            kBenchCheckBadInput);
+  EXPECT_EQ(Compare(base, doc(R"("base_seed":41,"repeats":2,"repro_scale":1,)"), opts),
+            kBenchCheckBadInput);
+  EXPECT_EQ(Compare(base, doc(R"("base_seed":41,"repeats":2,"repro_scale":0.2,)"), opts),
+            kBenchCheckOk);
+}
+
+TEST(BenchCheckTest, SchemaOrScenarioMismatchIsBadInput) {
+  BenchCheckOptions opts;
+  EXPECT_EQ(Compare(Doc(10, 20, "bullet-bench-v1"), Doc(10, 20), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(Doc(10, 20), Doc(10, 20, "bullet-bench-v1"), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(Doc(10, 20), Doc(10, 20, "bullet-bench-v2", "fig05"), opts),
+            kBenchCheckBadInput);
+  EXPECT_EQ(Compare("[1,2,3]", Doc(10, 20), opts), kBenchCheckBadInput);
+}
+
+TEST(BenchCheckTest, PointMatchingIgnoresAxisDeclarationOrder) {
+  BenchCheckOptions opts;
+  const auto doc = [](const char* params) {
+    return std::string(R"({"schema":"bullet-bench-v2","scenario":"fig04","points":[)") +
+           R"({"point_index":0,"params":)" + params +
+           R"(,"metrics":{"Sys.p50_s":{"median":10}}}]})";
+  };
+  // Same point identity whether params were written nodes-first or loss-first.
+  EXPECT_EQ(Compare(doc(R"({"nodes":20,"loss":0.01})"), doc(R"({"loss":0.01,"nodes":20})"),
+                    opts),
+            kBenchCheckOk);
+}
+
+}  // namespace
+}  // namespace bullet

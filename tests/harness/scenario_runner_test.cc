@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -40,6 +41,47 @@ TEST(ParseRunnerArgsTest, ScenarioWithOverrides) {
   EXPECT_DOUBLE_EQ(*args.options.deadline_sec, 600.0);
   EXPECT_EQ(args.out_path, "x.json");
   EXPECT_TRUE(args.quiet);
+}
+
+TEST(ParseRunnerArgsTest, SweepFlags) {
+  const RunnerArgs args =
+      Parse({"--scenario", "fig04_overall_static", "--sweep", "nodes=20,50,100",
+             "--sweep=loss=0,0.01", "--repeats", "2", "--jobs", "4", "--sweep-name", "ci",
+             "--out-dir", "artifacts", "--loss", "0.02"});
+  ASSERT_TRUE(args.ok) << args.error;
+  EXPECT_TRUE(args.sweep_mode());
+  ASSERT_EQ(args.sweep_axes.size(), 2u);
+  EXPECT_EQ(args.sweep_axes[0].key, "nodes");
+  EXPECT_EQ(args.sweep_axes[0].values, (std::vector<double>{20, 50, 100}));
+  EXPECT_EQ(args.sweep_axes[1].key, "loss");
+  ASSERT_TRUE(args.repeats.has_value());
+  EXPECT_EQ(*args.repeats, 2);
+  EXPECT_EQ(args.jobs, 4);
+  ASSERT_TRUE(args.sweep_name.has_value());
+  EXPECT_EQ(*args.sweep_name, "ci");
+  EXPECT_EQ(args.out_dir, "artifacts");
+  ASSERT_TRUE(args.options.loss.has_value());
+  EXPECT_DOUBLE_EQ(*args.options.loss, 0.02);
+}
+
+TEST(ParseRunnerArgsTest, SingleRunIsNotSweepMode) {
+  const RunnerArgs args = Parse({"--scenario", "x", "--nodes", "20"});
+  ASSERT_TRUE(args.ok) << args.error;
+  EXPECT_FALSE(args.sweep_mode());
+}
+
+TEST(ParseRunnerArgsTest, SweepFileAloneSufficesAsMode) {
+  const RunnerArgs args = Parse({"--sweep-file", "spec.sweep"});
+  ASSERT_TRUE(args.ok) << args.error;  // scenario may come from the file
+  EXPECT_TRUE(args.sweep_mode());
+}
+
+TEST(ParseRunnerArgsTest, RejectsBadSweepValues) {
+  EXPECT_FALSE(Parse({"--scenario", "x", "--sweep", "warp=1"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--sweep", "nodes"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--repeats", "0"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--jobs", "-1"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--loss", "1.5"}).ok);
 }
 
 TEST(ParseRunnerArgsTest, RejectsUnknownFlag) {
@@ -98,14 +140,24 @@ TEST_F(RunnerMainTest, ListPrintsRegisteredScenarios) {
   EXPECT_NE(out_.str().find("tiny\ta tiny test scenario"), std::string::npos);
 }
 
-TEST_F(RunnerMainTest, UnknownScenarioFails) {
-  EXPECT_EQ(Run({"--scenario", "missing"}), 1);
+TEST_F(RunnerMainTest, UnknownScenarioIsUsageError) {
+  // Usage-class failures exit 2 with nothing on stdout, so shell pipelines and CI
+  // log scraping keep working.
+  EXPECT_EQ(Run({"--scenario", "missing"}), 2);
   EXPECT_NE(err_.str().find("unknown scenario 'missing'"), std::string::npos);
+  EXPECT_TRUE(out_.str().empty());
 }
 
 TEST_F(RunnerMainTest, BadFlagFailsWithUsage) {
   EXPECT_EQ(Run({"--bogus"}), 2);
   EXPECT_NE(err_.str().find("unknown argument"), std::string::npos);
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(RunnerMainTest, ListWritesOnlyToStdout) {
+  EXPECT_EQ(Run({"--list"}), 0);
+  EXPECT_TRUE(err_.str().empty());
+  EXPECT_FALSE(out_.str().empty());
 }
 
 TEST_F(RunnerMainTest, RunWritesJson) {
@@ -124,6 +176,58 @@ TEST_F(RunnerMainTest, RunWritesJson) {
   EXPECT_NE(json.find("\"name\":\"SystemX\""), std::string::npos);
   EXPECT_NE(json.find("\"samples\":[1,2]"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST_F(RunnerMainTest, SweepModeWritesAggregateAndPerRunFiles) {
+  const std::string dir = ::testing::TempDir() + "/bullet_sweep_runner_test";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(Run({"--scenario", "tiny", "--sweep", "nodes=4,8", "--repeats", "2", "--seed",
+                 "41", "--sweep-name", "t", "--jobs", "2", "--out-dir", dir.c_str(),
+                 "--quiet"}),
+            0);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream content;
+    content << in.rdbuf();
+    return content.str();
+  };
+  const std::string aggregate = slurp(dir + "/BENCH_sweep_t.json");
+  EXPECT_NE(aggregate.find("\"schema\":\"bullet-bench-v2\""), std::string::npos);
+  EXPECT_NE(aggregate.find("\"sweep\":\"t\""), std::string::npos);
+  EXPECT_NE(aggregate.find("\"nodes\":8"), std::string::npos);
+  for (const char* leaf : {"/BENCH_sweep_t_p0_r0.json", "/BENCH_sweep_t_p0_r1.json",
+                           "/BENCH_sweep_t_p1_r0.json", "/BENCH_sweep_t_p1_r1.json"}) {
+    EXPECT_NE(slurp(dir + leaf).find("\"schema\":\"bullet-bench-v1\""), std::string::npos);
+  }
+
+  // Same spec again (different jobs count) must reproduce the aggregate byte for
+  // byte — the determinism contract the CI gate relies on.
+  const std::string dir2 = dir + "_again";
+  std::filesystem::remove_all(dir2);
+  EXPECT_EQ(Run({"--scenario", "tiny", "--sweep", "nodes=4,8", "--repeats", "2", "--seed",
+                 "41", "--sweep-name", "t", "--jobs", "1", "--out-dir", dir2.c_str(),
+                 "--quiet"}),
+            0);
+  EXPECT_EQ(aggregate, slurp(dir2 + "/BENCH_sweep_t.json"));
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir2);
+}
+
+TEST_F(RunnerMainTest, SweepDuplicateAxisIsUsageError) {
+  EXPECT_EQ(Run({"--scenario", "tiny", "--sweep", "nodes=4,8", "--sweep", "nodes=16"}), 2);
+  EXPECT_NE(err_.str().find("duplicate sweep axis 'nodes'"), std::string::npos);
+}
+
+TEST_F(RunnerMainTest, SweepUnknownScenarioIsUsageError) {
+  EXPECT_EQ(Run({"--scenario", "missing", "--sweep", "nodes=4,8"}), 2);
+  EXPECT_NE(err_.str().find("unknown scenario"), std::string::npos);
+}
+
+TEST_F(RunnerMainTest, SweepMissingSpecFileIsUsageError) {
+  EXPECT_EQ(Run({"--sweep-file", "/nonexistent/sweep.spec"}), 2);
+  EXPECT_NE(err_.str().find("cannot read sweep file"), std::string::npos);
 }
 
 TEST(WriteReportJsonTest, EscapesAndNonFinite) {
