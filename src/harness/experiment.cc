@@ -5,6 +5,10 @@ namespace bullet {
 Experiment::Experiment(Topology topology, const ExperimentParams& params) : params_(params) {
   NetworkConfig net_config;
   net_config.quantum = params.quantum;
+  net_config.allocator_mode = params.full_recompute_allocator
+                                  ? NetworkConfig::AllocatorMode::kFullRecompute
+                                  : NetworkConfig::AllocatorMode::kIncremental;
+  net_config.skip_idle_ticks = params.skip_idle_ticks;
   net_ = std::make_unique<Network>(std::move(topology), net_config, params.seed ^ 0x9e3779b9ULL);
   Rng tree_rng(params.seed ^ 0x7f4a7c15ULL);
   tree_ = ControlTree::Random(net_->num_nodes(), params.tree_fanout, tree_rng);

@@ -54,6 +54,9 @@ ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const Bulle
       static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.block_bytes));
   params.deadline = cfg.deadline;
   params.record_arrivals = cfg.record_arrivals;
+  params.full_recompute_allocator = cfg.full_recompute_allocator;
+  params.skip_idle_ticks = cfg.skip_idle_ticks;
+  params.quantum = cfg.quantum;
 
   // Per Section 4.2: Bullet and SplitStream run over a source-encoded stream; their
   // downloads complete at (1 + 4%) n distinct blocks.

@@ -43,6 +43,17 @@ struct ScenarioConfig {
   uint64_t seed = 1;
   SimTime deadline = SecToSim(7200.0);
   bool record_arrivals = false;
+  // Pre-PR network tick loop (full allocator recompute every quantum); used by
+  // perf_core_scale to benchmark against the incremental default.
+  bool full_recompute_allocator = false;
+  // Elide idle tick events entirely (NetworkConfig::skip_idle_ticks): fastest
+  // for workloads with long quiet phases, but not bit-reproducible against the
+  // default mode, so no fig scenario sets it.
+  bool skip_idle_ticks = false;
+  // Rate-allocation quantum. The paper's emulator uses 10 ms; perf_core_scale
+  // runs finer-grained emulation, where the event-driven core's advantage grows
+  // (its allocation count tracks flow churn, not tick rate).
+  SimTime quantum = MsToSim(10);
   // Force encoded-stream methodology regardless of system (Bullet and SplitStream are
   // always treated as encoded with 4% overhead, per Section 4.2).
   bool force_encoded = false;

@@ -143,4 +143,176 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
   }
 }
 
+void IncrementalMaxMin::BeginEpoch(size_t keep_links) {
+  capacity_.resize(keep_links);
+  flow_links_.clear();
+  cap_.clear();
+  rate_.clear();
+}
+
+int32_t IncrementalMaxMin::AddLink(double capacity_bps) {
+  const int32_t id = static_cast<int32_t>(capacity_.size());
+  capacity_.push_back(capacity_bps);
+  return id;
+}
+
+void IncrementalMaxMin::AddFlow(int32_t l0, int32_t l1, int32_t l2, double cap_bps) {
+  flow_links_.push_back(l0);
+  flow_links_.push_back(l1);
+  flow_links_.push_back(l2);
+  cap_.push_back(cap_bps);
+}
+
+// The reference algorithm (AllocateMaxMin above) with every auxiliary structure
+// replaced by a persistent, allocation-free equivalent:
+//   link_flows (vector of vectors)  ->  CSR arrays rebuilt with two linear passes
+//   priority_queue                  ->  the same priority_queue over a reused vector
+//   remaining/nflows/stamp/frozen   ->  assign() into retained capacity
+// Every comparison and arithmetic update mirrors the reference line for line, in
+// the same order, so the produced rates are bit-identical (see header contract).
+void IncrementalMaxMin::Allocate() {
+  const size_t num_links = capacity_.size();
+  const size_t num_flows = cap_.size();
+
+  remaining_.assign(capacity_.begin(), capacity_.end());
+  nflows_.assign(num_links, 0);
+  stamp_.assign(num_links, 0);
+  rate_.assign(num_flows, 0.0);
+
+  // CSR build: count per-link flows, prefix-sum, then fill in flow order so each
+  // link's flow sequence matches the reference's push_back order.
+  for (size_t i = 0; i < 3 * num_flows; ++i) {
+    const int32_t l = flow_links_[i];
+    if (l >= 0) {
+      ++nflows_[static_cast<size_t>(l)];
+    }
+  }
+  link_off_.assign(num_links + 1, 0);
+  for (size_t l = 0; l < num_links; ++l) {
+    link_off_[l + 1] = link_off_[l] + static_cast<uint32_t>(nflows_[l]);
+  }
+  link_flow_.resize(link_off_[num_links]);
+  fill_cursor_.assign(link_off_.begin(), link_off_.end() - 1);
+  for (size_t i = 0; i < num_flows; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      const int32_t l = flow_links_[3 * i + k];
+      if (l >= 0) {
+        link_flow_[fill_cursor_[static_cast<size_t>(l)]++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  // Ascending-cap order. Sorting (cap, index) pairs beats sorting indices with a
+  // gathered comparator (no indirection per comparison). The relative order of
+  // equal caps is whatever the sort produces: equal-cap flows freeze at equal
+  // rates, and subtracting equal values commutes bitwise, so any permutation of
+  // an equal-cap run yields bit-identical results (the reference implementation
+  // sorts indices instead and may order such runs differently — harmlessly).
+  sort_buf_.resize(num_flows);
+  for (size_t i = 0; i < num_flows; ++i) {
+    sort_buf_[i] = {cap_[i], static_cast<uint32_t>(i)};
+  }
+  std::sort(sort_buf_.begin(), sort_buf_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  by_cap_.resize(num_flows);
+  for (size_t i = 0; i < num_flows; ++i) {
+    by_cap_[i] = sort_buf_[i].second;
+  }
+  size_t cap_cursor = 0;
+
+  frozen_.assign(num_flows, 0);
+  size_t frozen_count = 0;
+
+  heap_.clear();
+  auto push_link = [&](int32_t l) {
+    const size_t li = static_cast<size_t>(l);
+    if (nflows_[li] > 0) {
+      heap_.push(HeapEntry{remaining_[li] / nflows_[li], l, stamp_[li]});
+    }
+  };
+  for (size_t l = 0; l < num_links; ++l) {
+    push_link(static_cast<int32_t>(l));
+  }
+
+  auto freeze = [&](size_t fi, double rate) {
+    rate_[fi] = std::max(rate, 0.0);
+    frozen_[fi] = 1;
+    ++frozen_count;
+    for (int k = 0; k < 3; ++k) {
+      const int32_t l = flow_links_[3 * fi + k];
+      if (l < 0) {
+        continue;
+      }
+      const size_t li = static_cast<size_t>(l);
+      remaining_[li] = std::max(0.0, remaining_[li] - rate_[fi]);
+      --nflows_[li];
+      ++stamp_[li];
+      push_link(l);
+    }
+  };
+
+  for (size_t i = 0; i < num_flows; ++i) {
+    if (flow_links_[3 * i] < 0 && flow_links_[3 * i + 1] < 0 && flow_links_[3 * i + 2] < 0 &&
+        !frozen_[i]) {
+      frozen_[i] = 1;
+      ++frozen_count;
+      rate_[i] = cap_[i];
+    }
+  }
+
+  while (frozen_count < num_flows) {
+    double min_share = -1.0;
+    int32_t min_link = -1;
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      const size_t li = static_cast<size_t>(top.link);
+      if (top.stamp != stamp_[li] || nflows_[li] <= 0) {
+        heap_.pop();
+        continue;
+      }
+      min_share = top.share;
+      min_link = top.link;
+      break;
+    }
+    if (min_link < 0) {
+      for (size_t i = 0; i < num_flows; ++i) {
+        if (!frozen_[i]) {
+          frozen_[i] = 1;
+          ++frozen_count;
+          rate_[i] = cap_[i];
+        }
+      }
+      break;
+    }
+
+    bool froze_capped = false;
+    while (cap_cursor < by_cap_.size()) {
+      const size_t fi = by_cap_[cap_cursor];
+      if (frozen_[fi]) {
+        ++cap_cursor;
+        continue;
+      }
+      if (cap_[fi] <= min_share) {
+        freeze(fi, cap_[fi]);
+        ++cap_cursor;
+        froze_capped = true;
+      } else {
+        break;
+      }
+    }
+    if (froze_capped) {
+      continue;
+    }
+
+    const size_t li = static_cast<size_t>(min_link);
+    for (uint32_t off = link_off_[li]; off < link_off_[li + 1]; ++off) {
+      const uint32_t fi = link_flow_[off];
+      if (!frozen_[fi]) {
+        freeze(fi, min_share);
+      }
+    }
+    ++stamp_[li];
+  }
+}
+
 }  // namespace bullet

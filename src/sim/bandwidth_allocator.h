@@ -6,12 +6,37 @@
 // freeze its flows at the fair share, and redistribute. Flows whose cap is below the
 // current water level are frozen at their cap first.
 //
-// The allocator is stateless; the network rebuilds the flow set each rate quantum.
+// Two implementations share the algorithm:
+//
+//  * AllocateMaxMin — the stateless reference. Builds every auxiliary structure per
+//    call; kept verbatim as the ground truth the property tests compare against and
+//    as the pre-PR "full recompute every quantum" network mode.
+//
+//  * IncrementalMaxMin — the hot-path engine. All scratch (per-link flow lists as a
+//    CSR array, the saturation heap, the cap-sorted index, freeze flags) persists
+//    across allocation epochs, so a recompute performs zero heap allocations after
+//    warm-up. Callers dirty-track their flow set and simply skip Allocate() when
+//    nothing changed: the previous rates are, by determinism, exactly what a
+//    recompute would produce.
+//
+// Bit-exactness contract: for the same sequence of links and flows,
+// IncrementalMaxMin::Allocate() produces rates bit-identical to AllocateMaxMin.
+// This is load-bearing — the max-min water level is a chain of FP subtractions
+// whose low-order bits depend on freeze order, and freeze order depends on flow
+// and link numbering (sort and heap tie-breaks). Both implementations therefore
+// perform the identical operation sequence (same sort call, same heap algorithm,
+// same update arithmetic), and the network feeds them flows in the identical
+// order. Partial recomputation of "affected bottleneck groups" cannot meet this
+// contract (restricting the heap to a subgraph changes tie resolution), which is
+// why incrementality here means exact result reuse plus allocation-free rebuild
+// rather than subgraph water-filling.
 
 #ifndef SRC_SIM_BANDWIDTH_ALLOCATOR_H_
 #define SRC_SIM_BANDWIDTH_ALLOCATOR_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <queue>
 #include <vector>
 
 namespace bullet {
@@ -28,6 +53,76 @@ struct FlowSpec {
 // Computes the allocation in place. `link_capacity_bps[i]` is the capacity of link i.
 // Runs in O(F log F + saturation events * log L).
 void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& link_capacity_bps);
+
+// Reusable-scratch max-min engine. Usage per allocation epoch:
+//
+//   alloc.BeginEpoch();
+//   for each link (fixed ids first, discovered ones after): alloc.AddLink(capacity);
+//   for each flow in the caller's canonical order: alloc.AddFlow(l0, l1, l2, cap);
+//   alloc.Allocate();
+//   ... alloc.rate(i) ...
+//
+// Results stay valid until the next BeginEpoch(), which lets callers reuse rates
+// across quanta in which the flow set, caps, and capacities are all unchanged.
+class IncrementalMaxMin {
+ public:
+  // Resets the flow/link set for a new epoch; previously returned rates are
+  // invalidated. Scratch capacity is retained. The first `keep_links` link
+  // capacities survive into the new epoch (callers pass the count of fixed
+  // access links when they verified those capacities did not change, skipping
+  // 2n AddLink calls per epoch); pass 0 to start from an empty link set.
+  void BeginEpoch(size_t keep_links = 0);
+
+  // Registers the next link; ids are assigned densely in call order.
+  int32_t AddLink(double capacity_bps);
+
+  // Registers the next flow (index = number of AddFlow calls so far this epoch).
+  // Unused link slots are -1.
+  void AddFlow(int32_t l0, int32_t l1, int32_t l2, double cap_bps);
+
+  // Water-fills the current epoch. Bit-identical to AllocateMaxMin over the same
+  // links/flows sequence.
+  void Allocate();
+
+  size_t num_flows() const { return cap_.size(); }
+  size_t num_links() const { return capacity_.size(); }
+  double rate(size_t flow_index) const { return rate_[flow_index]; }
+  const std::vector<double>& rates() const { return rate_; }
+
+ private:
+  struct HeapEntry {
+    double share;
+    int32_t link;
+    uint32_t stamp;
+    bool operator>(const HeapEntry& o) const { return share > o.share; }
+  };
+  // std::priority_queue with a drainable underlying container, so the heap's
+  // storage survives across epochs. Same element order semantics as the
+  // reference implementation's priority_queue.
+  struct ReusableHeap
+      : std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> {
+    void clear() { c.clear(); }
+    void reserve(size_t n) { c.reserve(n); }
+  };
+
+  // Epoch inputs.
+  std::vector<double> capacity_;   // per link
+  std::vector<int32_t> flow_links_;  // 3 per flow, -1 padded
+  std::vector<double> cap_;          // per flow
+  std::vector<double> rate_;         // per flow (output)
+
+  // Scratch reused across epochs.
+  std::vector<double> remaining_;
+  std::vector<int32_t> nflows_;
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> link_off_;    // CSR offsets, size L+1
+  std::vector<uint32_t> link_flow_;   // CSR payload: flow indices per link, flow order
+  std::vector<uint32_t> fill_cursor_;
+  std::vector<std::pair<double, uint32_t>> sort_buf_;  // (cap, flow) pairs
+  std::vector<size_t> by_cap_;
+  std::vector<char> frozen_;
+  ReusableHeap heap_;
+};
 
 }  // namespace bullet
 

@@ -26,6 +26,13 @@ void FireBandwidthChange(Network& net, const BandwidthDynamicsParams& params) {
     const auto senders =
         net.rng().Sample(others, static_cast<size_t>(params.sender_fraction * others.size() + 0.5));
     for (const NodeId s : senders) {
+      // A failed node's links carry no flows and never will again (Connect() is
+      // refused), so degrading them must be a no-op. The sampling above still
+      // consumes the same RNG draws regardless of failures, keeping identical
+      // seeds reproducible whether or not churn is active.
+      if (net.IsNodeFailed(s) || net.IsNodeFailed(r)) {
+        continue;
+      }
       topo.core(s, r).bandwidth_bps *= params.factor;
     }
   }
@@ -52,6 +59,9 @@ void StartCascade(Network& net, NodeId target, std::vector<NodeId> senders, SimT
     const NodeId s = senders[i];
     net.queue().ScheduleAfter(interval * static_cast<SimTime>(i + 1),
                               [&net, s, target, new_bps] {
+                                if (net.IsNodeFailed(s) || net.IsNodeFailed(target)) {
+                                  return;  // dead links: collapsing them is a no-op
+                                }
                                 net.topology().core(s, target).bandwidth_bps = new_bps;
                               });
   }

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace bullet {
@@ -9,36 +10,47 @@ EventId EventQueue::Schedule(SimTime at, Callback cb) {
     at = now_;
   }
   const EventId id = next_seq_ + 1;
-  heap_.push(Entry{at, next_seq_, id});
+  heap_.push_back(Entry{at, next_seq_, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+  state_.push_back(EventState::kPending);
   ++next_seq_;
-  callbacks_.emplace(id, std::move(cb));
+  ++live_;
   return id;
 }
 
-void EventQueue::Cancel(EventId id) { callbacks_.erase(id); }
-
-bool EventQueue::Empty() const { return callbacks_.empty(); }
-
-size_t EventQueue::pending() const { return callbacks_.size(); }
+void EventQueue::Cancel(EventId id) {
+  if (id == 0 || id > state_.size()) {
+    return;  // never scheduled
+  }
+  EventState& st = state_[static_cast<size_t>(id - 1)];
+  if (st == EventState::kPending) {
+    st = EventState::kDone;
+    --live_;
+  }
+}
 
 uint64_t EventQueue::RunUntil(SimTime until) {
   stopped_ = false;
   uint64_t executed = 0;
   while (!stopped_ && !heap_.empty()) {
-    const Entry top = heap_.top();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      heap_.pop();  // Cancelled.
+    // Cancelled entries are popped lazily whenever they reach the top, even past
+    // `until` (mirrors the previous implementation's drain of dead entries).
+    EventState& st = state_[static_cast<size_t>(heap_.front().seq)];
+    if (st == EventState::kDone) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+      heap_.pop_back();
       continue;
     }
-    if (top.at > until) {
+    if (heap_.front().at > until) {
       break;
     }
-    heap_.pop();
-    now_ = top.at;
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
-    cb();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Entry>());
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = entry.at;
+    st = EventState::kDone;
+    --live_;
+    entry.fn();
     ++executed;
   }
   if (now_ < until && heap_.empty()) {

@@ -6,9 +6,38 @@
 #include <utility>
 
 #include "src/common/logging.h"
-#include "src/sim/bandwidth_allocator.h"
 
 namespace bullet {
+
+void Network::MsgRing::push_back(QueuedMsg qm) {
+  if (size_ == buf_.size()) {
+    // Grow to the next power of two, unrolling the ring into natural order.
+    const size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<QueuedMsg> grown;
+    grown.reserve(new_cap);
+    for (size_t i = 0; i < size_; ++i) {
+      grown.push_back(std::move(buf_[(head_ + i) & (buf_.size() - 1)]));
+    }
+    grown.resize(new_cap);
+    buf_ = std::move(grown);
+    head_ = 0;
+  }
+  buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(qm);
+  ++size_;
+}
+
+void Network::MsgRing::pop_front() {
+  buf_[head_] = QueuedMsg{};  // release the message now, not at overwrite time
+  head_ = (head_ + 1) & (buf_.size() - 1);
+  --size_;
+}
+
+void Network::MsgRing::clear_and_release() {
+  buf_.clear();
+  buf_.shrink_to_fit();
+  head_ = 0;
+  size_ = 0;
+}
 
 Network::Network(Topology topology, NetworkConfig config, uint64_t seed)
     : topology_(std::move(topology)),
@@ -17,7 +46,11 @@ Network::Network(Topology topology, NetworkConfig config, uint64_t seed)
       handlers_(static_cast<size_t>(topology_.num_nodes()), nullptr),
       tx_bytes_(static_cast<size_t>(topology_.num_nodes()), 0),
       rx_bytes_(static_cast<size_t>(topology_.num_nodes()), 0),
-      failed_(static_cast<size_t>(topology_.num_nodes()), 0) {}
+      failed_(static_cast<size_t>(topology_.num_nodes()), 0) {
+  const size_t n = static_cast<size_t>(topology_.num_nodes());
+  core_epoch_.assign(n * n, 0);
+  core_link_id_.assign(n * n, -1);
+}
 
 void Network::SetHandler(NodeId node, NetHandler* handler) {
   handlers_[static_cast<size_t>(node)] = handler;
@@ -53,9 +86,20 @@ ConnId Network::Connect(NodeId from, NodeId to) {
   }
   const ConnId id = static_cast<ConnId>(conns_.size());
   auto conn = std::make_unique<Conn>();
+  conn->id = id;
   conn->node[0] = from;
   conn->node[1] = to;
+  const uint32_t n = static_cast<uint32_t>(topology_.num_nodes());
+  for (int i = 0; i < 2; ++i) {
+    const NodeId src = conn->node[i];
+    const NodeId dst = conn->node[1 - i];
+    conn->path[i].path_delay = topology_.PathDelay(src, dst);
+    conn->path[i].rtt = topology_.Rtt(src, dst);
+    conn->path[i].loss = topology_.PathLoss(src, dst);
+    conn->path[i].core_key = static_cast<uint32_t>(src) * n + static_cast<uint32_t>(dst);
+  }
   conns_.push_back(std::move(conn));
+  conn_busy_mask_.push_back(0);
   open_conns_.push_back(id);
 
   // TCP three-way handshake plus the first application-level write.
@@ -69,6 +113,7 @@ ConnId Network::Connect(NodeId from, NodeId to) {
     for (int i = 0; i < 2; ++i) {
       if (!c->dir[i].queue.empty()) {
         c->dir[i].tcp.OnBecameActive(now(), config_.tcp);
+        ActivateDirection(*c, i);
       } else {
         c->dir[i].idle_since = now();
       }
@@ -90,10 +135,20 @@ void Network::Close(ConnId conn_id) {
   }
   c->closed = true;
   for (auto& dir : c->dir) {
-    dir.queue.clear();
+    if (c->established && !dir.queue.empty()) {
+      --active_dirs_;
+    }
+    dir.queue.clear_and_release();
     dir.queued_bytes = 0;
     dir.rate_bps = 0.0;
   }
+  conn_busy_mask_[static_cast<size_t>(conn_id)] = 0;
+  // The next quantum boundary compacts this entry out of open_conns_ (doing it
+  // right here would reorder the list differently from one batched pass and
+  // change max-min tie-breaking; see RebuildAndAllocate).
+  ++pending_close_;
+  alloc_dirty_ = true;
+  WakeTicksIfPaused();
   // Notify both ends asynchronously; the remote end hears after one path delay.
   for (int i = 0; i < 2; ++i) {
     const NodeId endpoint = c->node[i];
@@ -125,11 +180,22 @@ bool Network::Send(ConnId conn_id, NodeId from, std::unique_ptr<Message> msg) {
   Direction& dir = c->dir[idx];
   if (dir.queue.empty() && c->established) {
     dir.tcp.OnBecameActive(now(), config_.tcp);
+    ActivateDirection(*c, idx);
   }
   dir.queued_bytes += msg->wire_bytes;
   const double bytes = static_cast<double>(std::max<int64_t>(msg->wire_bytes, 1));
   dir.queue.push_back(QueuedMsg{std::move(msg), bytes});
   return true;
+}
+
+// Idle -> busy transition of an established direction: restart cap tracking and
+// mark the flow set dirty so the next quantum re-water-fills.
+void Network::ActivateDirection(Conn& c, int dir_idx) {
+  c.dir[dir_idx].cap_steady = false;
+  conn_busy_mask_[static_cast<size_t>(c.id)] |= static_cast<uint8_t>(1 << dir_idx);
+  ++active_dirs_;
+  alloc_dirty_ = true;
+  WakeTicksIfPaused();
 }
 
 size_t Network::QueuedMessages(ConnId conn_id, NodeId from) const {
@@ -184,17 +250,42 @@ void Network::FailNode(NodeId node) {
   }
 }
 
-void Network::ScheduleTick() {
+void Network::ScheduleFirstTick() {
   tick_scheduled_ = true;
+  tick_anchor_ = now() + config_.quantum;
   queue_.ScheduleAfter(config_.quantum, [this] { Tick(); });
 }
 
-void Network::Tick() {
-  const SimTime dt = now() - last_tick_;
-  last_tick_ = now();
-  const double dt_sec = SimToSec(dt);
+void Network::ScheduleNextTick() {
+  if (config_.skip_idle_ticks && active_dirs_ == 0 && pending_close_ == 0) {
+    tick_paused_ = true;
+    return;
+  }
+  queue_.ScheduleAfter(config_.quantum, [this] { Tick(); });
+}
 
-  // Compact closed connections out of the open list.
+void Network::WakeTicksIfPaused() {
+  if (!tick_paused_) {
+    return;
+  }
+  tick_paused_ = false;
+  tick_resumed_ = true;
+  queue_.Schedule(NextGridTickTime(), [this] { Tick(); });
+}
+
+SimTime Network::NextGridTickTime() const {
+  if (now() < tick_anchor_) {
+    return tick_anchor_;
+  }
+  return tick_anchor_ + ((now() - tick_anchor_) / config_.quantum + 1) * config_.quantum;
+}
+
+// Removes closed connections in one ascending-position swap-with-back pass — the
+// exact pass the pre-PR tick ran every quantum. Batch shape matters: the
+// resulting permutation feeds the allocator, whose FP tie-breaking depends on
+// flow order, so closes are compacted per quantum boundary rather than one by
+// one at Close() time.
+void Network::CompactOpenConns() {
   for (size_t i = 0; i < open_conns_.size();) {
     const Conn* c = GetConn(open_conns_[i]);
     if (c == nullptr || c->closed) {
@@ -204,7 +295,174 @@ void Network::Tick() {
       ++i;
     }
   }
+  pending_close_ = 0;
+}
 
+void Network::Tick() {
+  SimTime dt = now() - last_tick_;
+  if (tick_resumed_) {
+    // Waking from an idle pause: the interval since the last executed tick
+    // carried no transmissions, so the advance budget covers one quantum.
+    dt = config_.quantum;
+    tick_resumed_ = false;
+  }
+  last_tick_ = now();
+  const double dt_sec = SimToSec(dt);
+
+  if (pending_close_ > 0) {
+    CompactOpenConns();
+  }
+
+  if (config_.allocator_mode == NetworkConfig::AllocatorMode::kFullRecompute) {
+    TickFullRecompute(dt_sec);
+    ScheduleNextTick();
+    return;
+  }
+
+  if (active_dirs_ > 0) {
+    const bool caps_same = CapacitiesUnchanged();
+    if (alloc_dirty_ || !caps_same) {
+      RebuildAndAllocate(caps_same);
+    }
+    AdvanceTransmissions(dt_sec);
+  }
+
+  ScheduleNextTick();
+}
+
+// True when every link capacity the last allocation used is unchanged, so the
+// cached rates are still exact. Covers all access links plus the core links that
+// carried flows; links without flows cannot influence the allocation.
+bool Network::CapacitiesUnchanged() const {
+  const int n = topology_.num_nodes();
+  if (base_caps_.size() != static_cast<size_t>(2 * n)) {
+    return false;  // never allocated yet
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (topology_.uplink(i).bandwidth_bps != base_caps_[static_cast<size_t>(i)] ||
+        topology_.downlink(i).bandwidth_bps != base_caps_[static_cast<size_t>(n + i)]) {
+      return false;
+    }
+  }
+  for (const CoreCap& cc : core_caps_) {
+    if (topology_.core(cc.src, cc.dst).bandwidth_bps != cc.cap) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int32_t Network::CoreLinkIdForEpoch(uint32_t key, NodeId src, NodeId dst) {
+  if (core_epoch_[key] != epoch_counter_) {
+    core_epoch_[key] = epoch_counter_;
+    const double cap = topology_.core(src, dst).bandwidth_bps;
+    core_link_id_[key] = alloc_.AddLink(cap);
+    core_caps_.push_back(CoreCap{src, dst, cap});
+  }
+  return core_link_id_[key];
+}
+
+// Rebuilds the active flow set and re-runs water-filling. Link ids and flow
+// order replicate the pre-PR tick exactly: uplink(i) = i, downlink(i) = n + i,
+// core links assigned densely in first-use order while scanning open_conns_ —
+// the allocator's FP results depend on these orders (see bandwidth_allocator.h).
+void Network::RebuildAndAllocate(bool base_caps_unchanged) {
+  const int n = topology_.num_nodes();
+  if (base_caps_unchanged && base_caps_.size() == static_cast<size_t>(2 * n)) {
+    // Access-link capacities are verified unchanged; keep them in place.
+    alloc_.BeginEpoch(static_cast<size_t>(2 * n));
+  } else {
+    alloc_.BeginEpoch(0);
+    base_caps_.resize(static_cast<size_t>(2 * n));
+    for (NodeId i = 0; i < n; ++i) {
+      const double up = topology_.uplink(i).bandwidth_bps;
+      alloc_.AddLink(up);
+      base_caps_[static_cast<size_t>(i)] = up;
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      const double down = topology_.downlink(i).bandwidth_bps;
+      alloc_.AddLink(down);
+      base_caps_[static_cast<size_t>(n + i)] = down;
+    }
+  }
+  ++epoch_counter_;
+  core_caps_.clear();
+  cached_flows_.clear();
+  ramping_flows_ = 0;
+
+  for (const ConnId id : open_conns_) {
+    const uint8_t busy = conn_busy_mask_[static_cast<size_t>(id)];
+    if (busy == 0) {
+      continue;  // no established direction with queued bytes
+    }
+    Conn* c = conns_[static_cast<size_t>(id)].get();
+    for (int i = 0; i < 2; ++i) {
+      if ((busy & (1 << i)) == 0) {
+        continue;
+      }
+      Direction& dir = c->dir[i];
+      const NodeId src = c->node[i];
+      const NodeId dst = c->node[1 - i];
+      const int32_t core = CoreLinkIdForEpoch(c->path[i].core_key, src, dst);
+      if (!dir.cap_steady) {
+        bool steady = false;
+        dir.cap_cache = TcpRateCapDetail(dir.tcp, now(), c->path[i].rtt, c->path[i].loss,
+                                         config_.tcp, &steady);
+        dir.cap_steady = steady;
+        if (!steady) {
+          ++ramping_flows_;
+        }
+      }
+      alloc_.AddFlow(src, static_cast<int32_t>(n) + dst, core, dir.cap_cache);
+      cached_flows_.push_back(CachedFlow{c, i});
+    }
+  }
+
+  alloc_.Allocate();
+  // Ramping caps change next quantum, which changes the allocation; otherwise the
+  // cached result stays exact until an activation/drain/close/capacity change.
+  alloc_dirty_ = ramping_flows_ > 0;
+}
+
+void Network::AdvanceTransmissions(double dt_sec) {
+  for (size_t fi = 0; fi < cached_flows_.size(); ++fi) {
+    Conn* c = cached_flows_[fi].conn;
+    const int dir_idx = cached_flows_[fi].dir_idx;
+    if (c->closed) {
+      continue;
+    }
+    Direction& dir = c->dir[dir_idx];
+    if (dir.queue.empty()) {
+      continue;
+    }
+    dir.rate_bps = alloc_.rate(fi);
+    dir.tcp.last_busy = now();
+    double budget = dir.rate_bps / 8.0 * dt_sec;
+    while (!dir.queue.empty() && budget >= dir.queue.front().remaining_bytes) {
+      QueuedMsg qm = std::move(dir.queue.front());
+      dir.queue.pop_front();
+      budget -= qm.remaining_bytes;
+      dir.queued_bytes -= qm.msg->wire_bytes;
+      tx_bytes_[static_cast<size_t>(c->node[dir_idx])] += qm.msg->wire_bytes;
+      // Delivery is scheduled, not synchronous, so no reentrancy happens here.
+      EnqueueDelivery(c->id, *c, dir_idx, std::move(qm.msg));
+    }
+    if (!dir.queue.empty()) {
+      dir.queue.front().remaining_bytes -= budget;
+    } else {
+      dir.idle_since = now();
+      dir.rate_bps = 0.0;
+      conn_busy_mask_[static_cast<size_t>(c->id)] &= static_cast<uint8_t>(~(1 << dir_idx));
+      --active_dirs_;
+      alloc_dirty_ = true;
+    }
+  }
+}
+
+// The pre-PR tick body, verbatim: rebuild every auxiliary structure and
+// recompute all rates each quantum. Kept as the A/B reference for the
+// perf_core_scale benchmark and the determinism tests.
+void Network::TickFullRecompute(double dt_sec) {
   // Build the active flow set. Link ids: uplink(n) = n, downlink(n) = N + n, core
   // links assigned densely on demand.
   const int n = topology_.num_nodes();
@@ -265,35 +523,33 @@ void Network::Tick() {
       dir.queued_bytes -= qm.msg->wire_bytes;
       tx_bytes_[static_cast<size_t>(c->node[dir_idx])] += qm.msg->wire_bytes;
       EnqueueDelivery(conn_id, *c, dir_idx, std::move(qm.msg));
-      // `c` may have been invalidated by conns_ growth inside callbacks? Delivery is
-      // scheduled, not synchronous, so no reentrancy happens here.
     }
     if (!dir.queue.empty()) {
       dir.queue.front().remaining_bytes -= budget;
     } else {
       dir.idle_since = now();
       dir.rate_bps = 0.0;
+      conn_busy_mask_[static_cast<size_t>(conn_id)] &= static_cast<uint8_t>(~(1 << dir_idx));
+      --active_dirs_;
+      alloc_dirty_ = true;
     }
   }
-
-  ScheduleTick();
 }
 
 void Network::EnqueueDelivery(ConnId conn_id, Conn& c, int sender_idx, std::unique_ptr<Message> msg) {
-  const NodeId src = c.node[sender_idx];
-  const NodeId dst = c.node[1 - sender_idx];
+  const PathCache& path = c.path[sender_idx];
   Direction& dir = c.dir[sender_idx];
 
-  SimTime delivered_at = now() + topology_.PathDelay(src, dst);
+  SimTime delivered_at = now() + path.path_delay;
   if (config_.loss_latency) {
-    const double p = topology_.PathLoss(src, dst);
+    const double p = path.loss;
     if (p > 0.0) {
       const double packets =
           std::max(1.0, std::ceil(static_cast<double>(msg->wire_bytes) / config_.tcp.mss_bytes));
       const double p_msg = 1.0 - std::pow(1.0 - p, packets);
       if (rng_.Bernoulli(p_msg)) {
         // Fast retransmit in the common case; occasionally a full RTO.
-        const SimTime rtt = topology_.Rtt(src, dst);
+        const SimTime rtt = path.rtt;
         SimTime penalty = rtt + rtt / 2;
         if (rng_.Bernoulli(0.2)) {
           penalty = std::max<SimTime>(MsToSim(200), 2 * rtt);
@@ -305,11 +561,11 @@ void Network::EnqueueDelivery(ConnId conn_id, Conn& c, int sender_idx, std::uniq
   delivered_at = std::max(delivered_at, dir.delivery_floor);
   dir.delivery_floor = delivered_at;
 
-  auto holder = std::make_shared<std::unique_ptr<Message>>(std::move(msg));
   const int receiver_idx = 1 - sender_idx;
-  queue_.Schedule(delivered_at, [this, conn_id, receiver_idx, holder] {
-    DeliverMessage(conn_id, receiver_idx, std::move(*holder));
-  });
+  queue_.Schedule(delivered_at,
+                  [this, conn_id, receiver_idx, msg = std::move(msg)]() mutable {
+                    DeliverMessage(conn_id, receiver_idx, std::move(msg));
+                  });
 }
 
 void Network::DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<Message> msg) {
@@ -328,7 +584,7 @@ void Network::DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<M
 
 void Network::Run(SimTime until) {
   if (!tick_scheduled_) {
-    ScheduleTick();
+    ScheduleFirstTick();
   }
   queue_.RunUntil(until);
 }

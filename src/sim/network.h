@@ -12,16 +12,45 @@
 // connection direction with queued bytes) and advances transmissions. Completed
 // messages are delivered after the path's propagation delay, plus a retransmission
 // penalty drawn from the path loss rate; deliveries on one direction are in order.
+//
+// Hot-path architecture (PR 3). The tick is event-driven in its *work*, not its
+// schedule: a tick event still fires every quantum (keeping the event-sequence
+// numbering — and therefore same-time tie-breaking — identical to the original
+// fixed-quantum loop), but the expensive stages only run when something changed:
+//
+//   * compaction of closed connections runs only on quanta that saw a Close();
+//   * the flow set is rebuilt and re-water-filled only when dirty — a direction
+//     became busy or idle, a connection closed, a flow's TCP cap is still ramping,
+//     or a link capacity changed (detected by comparing the capacities the last
+//     allocation used against the topology);
+//   * on clean quanta the cached rates are reused — by determinism they are
+//     exactly what a recompute would produce — and only transmission advancement
+//     runs;
+//   * a fully idle network (no queued bytes anywhere) ticks in O(1).
+//
+// Per-flow TCP caps are cached once the slow-start ramp reaches its steady ceiling
+// (tcp_model.h), message queues are ring buffers that recycle their storage, and
+// delivery events capture their message directly in the event-queue closure, so
+// steady-state message handling performs no per-message allocation.
+//
+// NetworkConfig::allocator_mode selects the legacy full-recompute-every-quantum
+// tick (the pre-PR behaviour, kept as a reference and for A/B benchmarking);
+// NetworkConfig::skip_idle_ticks additionally elides idle tick events entirely and
+// schedules the next tick on the quantum grid when a flow wakes — fastest for
+// workloads with long quiet phases, but same-time event tie-breaking can differ
+// from the reference modes, so identical-seed runs are only reproducible against
+// the same mode, not across modes.
 
 #ifndef SRC_SIM_NETWORK_H_
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/sim/bandwidth_allocator.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/tcp_model.h"
 #include "src/sim/time.h"
@@ -56,6 +85,17 @@ struct NetworkConfig {
   // via the Mathis cap; this term affects message latency, which is what makes
   // availability information stale on lossy paths (Section 4.3).
   bool loss_latency = true;
+
+  enum class AllocatorMode {
+    kIncremental,    // dirty-tracked allocation with cached rates (default)
+    kFullRecompute,  // pre-PR behaviour: rebuild + water-fill every quantum
+  };
+  AllocatorMode allocator_mode = AllocatorMode::kIncremental;
+
+  // Elide tick events while no direction has queued bytes and no close is pending
+  // compaction; the next tick is scheduled on the quantum grid when a flow wakes.
+  // Not bit-reproducible against the non-skipping modes (see header comment).
+  bool skip_idle_ticks = false;
 };
 
 class Network {
@@ -103,6 +143,14 @@ class Network {
   int64_t node_bytes_sent(NodeId n) const { return tx_bytes_[static_cast<size_t>(n)]; }
   int64_t node_bytes_received(NodeId n) const { return rx_bytes_[static_cast<size_t>(n)]; }
 
+  // Entries in the open-connection list. Closed connections are compacted out on
+  // the next quantum boundary after their Close(), so this may transiently exceed
+  // the number of live connections by the closes of the current quantum (tests
+  // use it to pin down that bound; see network_test.cc).
+  size_t open_conn_entries() const { return open_conns_.size(); }
+  // Directions currently holding queued bytes on established connections.
+  size_t active_directions() const { return active_dirs_; }
+
   // Runs the simulation until `until` or Stop().
   void Run(SimTime until);
   void Stop() { queue_.Stop(); }
@@ -113,18 +161,55 @@ class Network {
     double remaining_bytes = 0.0;
   };
 
+  // FIFO of queued messages backed by a recycled power-of-two ring, replacing a
+  // per-direction std::deque: no node allocations per message, and the buffer is
+  // released when the connection closes.
+  class MsgRing {
+   public:
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    QueuedMsg& front() { return buf_[head_]; }
+    void push_back(QueuedMsg qm);
+    void pop_front();
+    void clear_and_release();
+
+   private:
+    std::vector<QueuedMsg> buf_;  // power-of-two capacity, index masked
+    size_t head_ = 0;
+    size_t size_ = 0;
+  };
+
   struct Direction {
-    std::deque<QueuedMsg> queue;
+    MsgRing queue;
     int64_t queued_bytes = 0;
     double rate_bps = 0.0;
     TcpFlowState tcp;
     SimTime delivery_floor = 0;  // enforces in-order delivery
     SimTime idle_since = 0;      // valid when queue is empty
+
+    // TCP-cap cache for the incremental tick. Once `cap_steady`, `cap_cache` is
+    // the exact value TcpRateCapBps would return for the rest of the busy
+    // period, so the rebuild skips the transcendental-heavy recomputation.
+    double cap_cache = 0.0;
+    bool cap_steady = false;
+  };
+
+  // Per-direction path parameters snapshotted at Connect(). Propagation delay
+  // and loss are static during a run (only link *bandwidth* is dynamic — see
+  // dynamics.h), so these are the exact values the per-message topology lookups
+  // would produce, minus three scattered reads per message.
+  struct PathCache {
+    SimTime path_delay = 0;
+    SimTime rtt = 0;
+    double loss = 0.0;
+    uint32_t core_key = 0;  // src * num_nodes + dst, for the epoch core-id table
   };
 
   struct Conn {
+    ConnId id = -1;
     NodeId node[2] = {-1, -1};
-    Direction dir[2];  // dir[i] carries node[i] -> node[1-i]
+    Direction dir[2];   // dir[i] carries node[i] -> node[1-i]
+    PathCache path[2];  // path[i] describes node[i] -> node[1-i]
     bool established = false;
     bool closed = false;
   };
@@ -134,8 +219,18 @@ class Network {
   // Returns 0 or 1: which endpoint `node` is; -1 if neither.
   static int EndpointIndex(const Conn& c, NodeId node);
 
-  void ScheduleTick();
+  void ScheduleFirstTick();
+  void ScheduleNextTick();
+  void WakeTicksIfPaused();
+  SimTime NextGridTickTime() const;
   void Tick();
+  void TickFullRecompute(double dt_sec);
+  void CompactOpenConns();
+  bool CapacitiesUnchanged() const;
+  void RebuildAndAllocate(bool base_caps_unchanged);
+  void AdvanceTransmissions(double dt_sec);
+  int32_t CoreLinkIdForEpoch(uint32_t key, NodeId src, NodeId dst);
+  void ActivateDirection(Conn& c, int dir_idx);
   void DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<Message> msg);
   void EnqueueDelivery(ConnId conn_id, Conn& c, int sender_idx, std::unique_ptr<Message> msg);
 
@@ -146,14 +241,51 @@ class Network {
 
   std::vector<NetHandler*> handlers_;
   std::vector<std::unique_ptr<Conn>> conns_;  // indexed by ConnId, never reused
-  std::vector<ConnId> open_conns_;            // compacted lazily during ticks
+  std::vector<ConnId> open_conns_;            // compacted on quantum boundaries
+  // Bit i set when conn->dir[i] is established with queued bytes. Lets the
+  // rebuild scan skip idle connections with one flat byte load instead of a
+  // pointer chase (most connections are idle in any given quantum).
+  std::vector<uint8_t> conn_busy_mask_;  // indexed by ConnId
 
   std::vector<int64_t> tx_bytes_;
   std::vector<int64_t> rx_bytes_;
   std::vector<char> failed_;
 
+  // --- incremental tick state ---
+  IncrementalMaxMin alloc_;
+  // (conn, direction) per allocated flow, in allocation order; parallel to
+  // alloc_.rates(). Valid until the next rebuild. Conn objects are heap-pinned
+  // (conns_ holds unique_ptrs and never erases), so raw pointers stay valid.
+  struct CachedFlow {
+    Conn* conn;
+    int dir_idx;
+  };
+  std::vector<CachedFlow> cached_flows_;
+  // Capacities the last allocation was computed from, for change detection:
+  // all access links (uplinks then downlinks, legacy id order) ...
+  std::vector<double> base_caps_;
+  // ... plus every core link a flow used, as (src, dst, capacity).
+  struct CoreCap {
+    NodeId src;
+    NodeId dst;
+    double cap;
+  };
+  std::vector<CoreCap> core_caps_;
+  // Per-ordered-pair core link id for the current allocation epoch (stamped).
+  std::vector<uint32_t> core_epoch_;
+  std::vector<int32_t> core_link_id_;
+  uint32_t epoch_counter_ = 0;
+
+  size_t active_dirs_ = 0;    // established directions with queued bytes
+  size_t pending_close_ = 0;  // closes since the last compaction pass
+  bool alloc_dirty_ = true;   // cached rates/flows invalid; rebuild on next tick
+  size_t ramping_flows_ = 0;  // flows whose TCP cap was not yet steady at rebuild
+
   SimTime last_tick_ = 0;
+  SimTime tick_anchor_ = 0;  // time of the first tick; the grid is anchor + k*quantum
   bool tick_scheduled_ = false;
+  bool tick_paused_ = false;    // skip_idle_ticks mode: no tick event pending
+  bool tick_resumed_ = false;   // next tick woke from a pause; clamp its dt
 };
 
 }  // namespace bullet

@@ -25,8 +25,8 @@ double MathisCapBps(SimTime rtt, double loss, double mss_bytes) {
   return mss_bytes * 8.0 / (rtt_sec * std::sqrt(2.0 * loss / 3.0));
 }
 
-double TcpRateCapBps(const TcpFlowState& state, SimTime now, SimTime rtt, double loss,
-                     const TcpModelParams& params) {
+double TcpRateCapDetail(const TcpFlowState& state, SimTime now, SimTime rtt, double loss,
+                        const TcpModelParams& params, bool* steady) {
   const double rtt_sec = std::max(SimToSec(rtt), 1e-4);
   // Slow-start ramp: cwnd doubles every RTT starting from the initial window, so the
   // achievable rate after t seconds of activity is IW * 2^(t/RTT) segments per RTT.
@@ -35,7 +35,18 @@ double TcpRateCapBps(const TcpFlowState& state, SimTime now, SimTime rtt, double
   const double ramp_bps =
       params.initial_window_segments * params.mss_bytes * 8.0 / rtt_sec * std::exp2(doublings);
   const double mathis_bps = MathisCapBps(rtt, loss, params.mss_bytes);
+  if (steady != nullptr) {
+    // The ramp is nondecreasing in `now` (active_since fixed while busy), so once
+    // it reaches the constant ceiling — or its doubling count saturates — the cap
+    // can never change again during this busy period.
+    *steady = doublings >= 40.0 || ramp_bps >= std::min(mathis_bps, kUnlimitedBps);
+  }
   return std::min(std::min(ramp_bps, mathis_bps), kUnlimitedBps);
+}
+
+double TcpRateCapBps(const TcpFlowState& state, SimTime now, SimTime rtt, double loss,
+                     const TcpModelParams& params) {
+  return TcpRateCapDetail(state, now, rtt, loss, params, nullptr);
 }
 
 }  // namespace bullet

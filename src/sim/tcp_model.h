@@ -46,6 +46,15 @@ struct TcpFlowState {
 double TcpRateCapBps(const TcpFlowState& state, SimTime now, SimTime rtt, double loss,
                      const TcpModelParams& params);
 
+// As TcpRateCapBps, but additionally reports whether the cap has reached its
+// steady state: once the slow-start ramp meets the loss/clamp ceiling (or the
+// doubling count saturates), the cap is a constant for the rest of the busy
+// period, so callers may cache it instead of recomputing per quantum. The
+// returned value is bit-identical to TcpRateCapBps (same operation sequence);
+// the network's incremental tick relies on that for reproducibility.
+double TcpRateCapDetail(const TcpFlowState& state, SimTime now, SimTime rtt, double loss,
+                        const TcpModelParams& params, bool* steady);
+
 // Steady-state Mathis cap alone (bits/second); infinite when loss == 0.
 double MathisCapBps(SimTime rtt, double loss, double mss_bytes);
 

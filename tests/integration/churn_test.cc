@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/common/stats.h"
 #include "src/core/bullet_prime.h"
 #include "src/harness/churn.h"
 #include "src/harness/experiment.h"
+#include "src/sim/dynamics.h"
 
 namespace bullet {
 namespace {
@@ -81,6 +84,120 @@ TEST(Churn, SurvivorsCompleteDespiteFailures) {
     }
   }
   EXPECT_GE(survivors_done, 29 - 6);
+}
+
+struct BulkMsg : Message {
+  explicit BulkMsg(int64_t bytes) { wire_bytes = bytes; }
+};
+
+class DownCounter : public NetHandler {
+ public:
+  void OnConnDown(ConnId /*conn*/, NodeId /*peer*/) override { ++downs; }
+  void OnMessage(ConnId /*conn*/, NodeId /*from*/, std::unique_ptr<Message> /*msg*/) override {
+    ++messages;
+  }
+  int downs = 0;
+  int messages = 0;
+};
+
+TEST(Churn, FailNodeRacesPendingDeliveries) {
+  // Fail a node while messages are both queued and in flight toward it; the
+  // in-flight deliveries must be dropped cleanly (no delivery after the
+  // failure, exactly one OnConnDown per surviving endpoint, no crash).
+  Rng rng(11);
+  Topology topo = Topology::ConstrainedAccess(4, rng);
+  Network net(std::move(topo), NetworkConfig{}, 11);
+  DownCounter h0;
+  DownCounter h1;
+  net.SetHandler(0, &h0);
+  net.SetHandler(1, &h1);
+  const ConnId conn = net.Connect(0, 1);
+  net.Run(SecToSim(1.0));
+  for (int i = 0; i < 20; ++i) {
+    net.Send(conn, 0, std::make_unique<BulkMsg>(64 * 1024));
+  }
+  net.Run(SecToSim(3.0));  // some deliveries pending, some queued
+  EXPECT_GT(h1.messages, 0);
+  const int delivered_before_failure = h1.messages;
+  net.FailNode(1);
+  net.Run(SecToSim(30.0));
+  EXPECT_EQ(h1.messages, delivered_before_failure);
+  EXPECT_FALSE(net.IsOpen(conn));
+  EXPECT_EQ(h0.downs, 1);
+  EXPECT_EQ(h1.downs, 1);
+}
+
+TEST(Churn, DynamicsOnFailedNodeLinksIsNoOp) {
+  // Periodic correlated bandwidth halving racing a node failure: firings that
+  // land on a failed node's links must leave them untouched (they carry no
+  // flows, and Connect() toward the node is refused forever), while live links
+  // keep degrading.
+  Topology topo(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    topo.uplink(n) = LinkParams{6e6, 0, 0.0};
+    topo.downlink(n) = LinkParams{6e6, 0, 0.0};
+    for (NodeId d = 0; d < 4; ++d) {
+      topo.core(n, d) = LinkParams{2e6, MsToSim(1), 0.0};
+    }
+  }
+  Network net(std::move(topo), NetworkConfig{}, 7);
+  BandwidthDynamicsParams params;
+  params.period = SecToSim(1.0);
+  params.node_fraction = 1.0;
+  params.sender_fraction = 1.0;
+  StartPeriodicBandwidthChanges(net, params);
+  net.queue().Schedule(MsToSim(500), [&net] { net.FailNode(1); });
+  net.Run(SecToSim(3.5));  // failure at 0.5 s, then 3 firings
+
+  EXPECT_TRUE(net.IsNodeFailed(1));
+  for (NodeId s = 0; s < 4; ++s) {
+    for (NodeId d = 0; d < 4; ++d) {
+      if (s == d) {
+        continue;
+      }
+      const double bw = net.topology().core(s, d).bandwidth_bps;
+      if (s == 1 || d == 1) {
+        EXPECT_NEAR(bw, 2e6, 1.0) << "failed node's link " << s << "->" << d << " was degraded";
+      } else {
+        EXPECT_NEAR(bw, 2e6 / 8.0, 1.0) << "live link " << s << "->" << d;
+      }
+    }
+  }
+}
+
+TEST(Churn, FailuresUnderBandwidthDynamicsStillComplete) {
+  // Full protocol integration: leaf failures land mid-download while the
+  // periodic halving keeps firing (including on the victims' links). Survivors
+  // must still finish; nothing may crash.
+  Rng topo_rng(21);
+  Topology::MeshParams mesh;
+  mesh.num_nodes = 16;
+  mesh.core_loss_max = 0.0;
+  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  ExperimentParams params;
+  params.seed = 21;
+  params.file.num_blocks = 320;  // 5 MB
+  params.deadline = SecToSim(1800.0);
+  Experiment exp(std::move(topo), params);
+  StartPeriodicBandwidthChanges(exp.net(), BandwidthDynamicsParams{});
+
+  Rng churn_rng(21 ^ 0xdead);
+  ChurnPlan plan = PlanLeafFailures(exp.tree(), params.source, 3, churn_rng);
+  ASSERT_EQ(plan.victims.size(), 3u);
+  ScheduleChurn(exp.net(), plan);
+
+  BulletPrimeConfig config;
+  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+    return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, config);
+  });
+
+  int survivors_done = 0;
+  for (NodeId n = 1; n < 16; ++n) {
+    if (metrics.node(n).completion >= 0) {
+      ++survivors_done;
+    }
+  }
+  EXPECT_GE(survivors_done, 15 - 3);
 }
 
 TEST(Churn, SlowdownIsBounded) {

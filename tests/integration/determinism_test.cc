@@ -1,0 +1,195 @@
+// Simulation-determinism layer: golden checks that the reworked simulator core
+// is exactly reproducible.
+//
+//  * Two in-process runs of the Fig. 4 static-mesh scenario (nodes=20, same
+//    seed) must serialize to byte-identical metrics.
+//  * The incremental allocator path and the pre-PR full-recompute path must
+//    agree flow-for-flow: identical delivery timelines on a scripted
+//    network-level scenario (including dynamics-driven capacity changes), and
+//    identical completion times on a full protocol run.
+//  * The skip-idle-ticks mode must produce the same timeline as the default
+//    mode when wakeups do not collide with other same-time events.
+//
+// Run standalone with `ctest -L invariants`.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario_runner.h"
+#include "src/harness/scenarios.h"
+#include "src/sim/dynamics.h"
+#include "src/sim/network.h"
+
+namespace bullet {
+namespace {
+
+ScenarioConfig Fig04Config() {
+  // Mirrors bench_fig04_overall_static.cc at nodes=20 with a test-sized file.
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kMesh;
+  cfg.num_nodes = 20;
+  cfg.file_mb = 5.0;
+  cfg.block_bytes = 16 * 1024;
+  cfg.seed = 401;
+  return cfg;
+}
+
+std::string SerializedRun(const ScenarioConfig& cfg) {
+  ScenarioReport report("determinism");
+  report.AddCompletion(RunScenario(System::kBulletPrime, cfg));
+  std::ostringstream os;
+  WriteReportJson(os, report, ScenarioOptions{});
+  return os.str();
+}
+
+TEST(Determinism, Fig04RepeatedRunsSerializeIdentically) {
+  const ScenarioConfig cfg = Fig04Config();
+  const std::string first = SerializedRun(cfg);
+  const std::string second = SerializedRun(cfg);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, IncrementalMatchesFullRecomputeOnProtocolRun) {
+  ScenarioConfig cfg = Fig04Config();
+  cfg.num_nodes = 12;
+  cfg.file_mb = 2.0;
+
+  cfg.full_recompute_allocator = false;
+  const ScenarioResult incremental = RunScenario(System::kBulletPrime, cfg);
+  cfg.full_recompute_allocator = true;
+  const ScenarioResult full = RunScenario(System::kBulletPrime, cfg);
+
+  ASSERT_EQ(incremental.completion_sec.size(), full.completion_sec.size());
+  for (size_t i = 0; i < incremental.completion_sec.size(); ++i) {
+    // Bitwise equality, not approximate: the incremental path must be exactly
+    // the full recomputation, or identical-seed runs would drift.
+    EXPECT_EQ(incremental.completion_sec[i], full.completion_sec[i]) << "receiver " << i;
+  }
+  EXPECT_EQ(incremental.completed, full.completed);
+  EXPECT_EQ(incremental.duplicate_fraction, full.duplicate_fraction);
+  EXPECT_EQ(incremental.control_overhead, full.control_overhead);
+}
+
+// --- scripted network-level comparison ---
+
+struct ScriptMsg : Message {
+  int id;
+  explicit ScriptMsg(int i, int64_t bytes) : id(i) {
+    type = 1;
+    wire_bytes = bytes;
+  }
+};
+
+class TimelineRecorder : public NetHandler {
+ public:
+  explicit TimelineRecorder(Network* net) : net_(net) {}
+  void OnConnUp(ConnId conn, NodeId peer, bool initiator) override {
+    Record("up", conn, peer, initiator ? 1 : 0);
+  }
+  void OnConnDown(ConnId conn, NodeId peer) override { Record("down", conn, peer, 0); }
+  void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) override {
+    Record("msg", conn, from, static_cast<ScriptMsg&>(*msg).id);
+  }
+
+  std::vector<std::string> events;
+
+ private:
+  void Record(const char* kind, ConnId conn, NodeId peer, int extra) {
+    std::ostringstream os;
+    os << net_->now() << " " << kind << " c" << conn << " p" << peer << " x" << extra;
+    events.push_back(os.str());
+  }
+  Network* net_;
+};
+
+Topology ScriptTopology() {
+  Rng rng(99);
+  // Lossy mesh so the delivery-time RNG stream is exercised too.
+  Topology::MeshParams mesh;
+  mesh.num_nodes = 6;
+  mesh.core_loss_min = 0.0;
+  mesh.core_loss_max = 0.02;
+  return Topology::FullMesh(mesh, rng);
+}
+
+// A fixed traffic script: connects, staggered sends (several per quantum,
+// some idle gaps), a mid-run close, a node failure, and periodic correlated
+// bandwidth halving. Returns every handler event of every node, in order.
+std::vector<std::string> RunScript(const NetworkConfig& config) {
+  Network net(ScriptTopology(), config, 4242);
+  std::vector<std::unique_ptr<TimelineRecorder>> handlers;
+  for (NodeId n = 0; n < 6; ++n) {
+    handlers.push_back(std::make_unique<TimelineRecorder>(&net));
+    net.SetHandler(n, handlers.back().get());
+  }
+  BandwidthDynamicsParams dyn;
+  dyn.period = SecToSim(2.0);
+  StartPeriodicBandwidthChanges(net, dyn);
+
+  const ConnId c01 = net.Connect(0, 1);
+  const ConnId c02 = net.Connect(0, 2);
+  const ConnId c12 = net.Connect(1, 2);
+  const ConnId c34 = net.Connect(3, 4);
+  int next_id = 0;
+  for (int burst = 0; burst < 6; ++burst) {
+    net.queue().Schedule(SecToSim(0.3) + burst * SecToSim(1.1) + MsToSim(3), [&, burst] {
+      net.Send(c01, 0, std::make_unique<ScriptMsg>(next_id++, 200 * 1024));
+      net.Send(c02, 0, std::make_unique<ScriptMsg>(next_id++, 64 * 1024));
+      if (burst % 2 == 0) {
+        net.Send(c12, 2, std::make_unique<ScriptMsg>(next_id++, 16 * 1024));
+        net.Send(c34, 3, std::make_unique<ScriptMsg>(next_id++, 512 * 1024));
+      }
+    });
+  }
+  net.queue().Schedule(SecToSim(3.7) + MsToSim(1), [&] { net.Close(c12); });
+  net.queue().Schedule(SecToSim(5.2) + MsToSim(7), [&] { net.FailNode(4); });
+  net.Run(SecToSim(12.0));
+
+  std::vector<std::string> all;
+  for (auto& h : handlers) {
+    for (auto& e : h->events) {
+      all.push_back(std::move(e));
+    }
+  }
+  return all;
+}
+
+TEST(Determinism, IncrementalMatchesFullRecomputeFlowForFlow) {
+  NetworkConfig incremental;
+  incremental.allocator_mode = NetworkConfig::AllocatorMode::kIncremental;
+  NetworkConfig full;
+  full.allocator_mode = NetworkConfig::AllocatorMode::kFullRecompute;
+
+  const std::vector<std::string> a = RunScript(incremental);
+  const std::vector<std::string> b = RunScript(full);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "event " << i;
+  }
+}
+
+TEST(Determinism, SkipIdleTicksMatchesDefaultOnCollisionFreeScript) {
+  // The script's sends/closes land off the 10 ms tick grid, so eliding idle
+  // tick events cannot reorder same-time events and the timeline must match
+  // the default mode exactly (the mode's documented contract).
+  NetworkConfig heartbeat;
+  NetworkConfig skipping;
+  skipping.skip_idle_ticks = true;
+
+  const std::vector<std::string> a = RunScript(heartbeat);
+  const std::vector<std::string> b = RunScript(skipping);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bullet

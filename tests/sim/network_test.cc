@@ -289,6 +289,93 @@ TEST(Network, BandwidthChangeTakesEffect) {
   EXPECT_LT(sec, 12.0);
 }
 
+TEST(Network, CloseCompactsWithinOneQuantum) {
+  // Regression: closed connections used to linger in the open list until some
+  // later tick's compaction pass. With event-driven tick work the pass only
+  // runs when needed, so Close() must guarantee compaction on the next quantum
+  // boundary — including when the network is otherwise completely idle.
+  Topology topo(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    topo.uplink(n) = LinkParams{8e6, 0, 0.0};
+    topo.downlink(n) = LinkParams{8e6, 0, 0.0};
+    for (NodeId d = 0; d < 4; ++d) {
+      topo.core(n, d) = LinkParams{8e6, MsToSim(1), 0.0};
+    }
+  }
+  Network net(std::move(topo), NetworkConfig{}, 13);
+  std::vector<ConnId> conns;
+  for (NodeId d = 1; d < 4; ++d) {
+    conns.push_back(net.Connect(0, d));
+    conns.push_back(net.Connect(d, (d + 1) % 4 == 0 ? 1 : d + 1));
+  }
+  net.Run(SecToSim(1.0));  // establish; network is idle (no traffic at all)
+  ASSERT_EQ(net.open_conn_entries(), conns.size());
+
+  net.Close(conns[0]);
+  net.Close(conns[3]);
+  EXPECT_FALSE(net.IsOpen(conns[0]));
+  // Entries may persist only until the next quantum boundary.
+  net.Run(net.now() + MsToSim(10));
+  EXPECT_EQ(net.open_conn_entries(), conns.size() - 2);
+
+  // Idle network, closes only — still compacted, never accumulated.
+  for (size_t i = 1; i < conns.size(); ++i) {
+    if (i != 3) {
+      net.Close(conns[i]);
+    }
+  }
+  net.Run(net.now() + MsToSim(10));
+  EXPECT_EQ(net.open_conn_entries(), 0u);
+}
+
+TEST(Network, CloseCompactsUnderSkipIdleTicks) {
+  // Same regression with idle tick events elided entirely: the Close() must
+  // wake the ticker so the compaction pass still runs within one quantum.
+  Topology topo(3);
+  for (NodeId n = 0; n < 3; ++n) {
+    topo.uplink(n) = LinkParams{8e6, 0, 0.0};
+    topo.downlink(n) = LinkParams{8e6, 0, 0.0};
+    for (NodeId d = 0; d < 3; ++d) {
+      topo.core(n, d) = LinkParams{8e6, MsToSim(1), 0.0};
+    }
+  }
+  NetworkConfig config;
+  config.skip_idle_ticks = true;
+  Network net(std::move(topo), config, 17);
+  const ConnId a = net.Connect(0, 1);
+  const ConnId b = net.Connect(1, 2);
+  net.Run(SecToSim(5.0));  // long idle stretch with ticks paused
+  ASSERT_EQ(net.open_conn_entries(), 2u);
+  net.Close(a);
+  net.Run(net.now() + MsToSim(10));
+  EXPECT_EQ(net.open_conn_entries(), 1u);
+  EXPECT_TRUE(net.IsOpen(b));
+}
+
+TEST(Network, ActiveDirectionAccountingAcrossLifecycle) {
+  Network net = MakeTwoNodeNet();
+  Recorder h0(&net);
+  Recorder h1(&net);
+  net.SetHandler(0, &h0);
+  net.SetHandler(1, &h1);
+  const ConnId conn = net.Connect(0, 1);
+  EXPECT_EQ(net.active_directions(), 0u);
+  // Queued before establishment: becomes active at establishment time.
+  net.Send(conn, 0, std::make_unique<TestMsg>(1, 64 * 1024));
+  EXPECT_EQ(net.active_directions(), 0u);
+  net.Run(SecToSim(0.05));  // established, still transmitting
+  EXPECT_EQ(net.active_directions(), 1u);
+  net.Run(SecToSim(2.0));  // drained
+  EXPECT_EQ(net.active_directions(), 0u);
+  net.Send(conn, 0, std::make_unique<TestMsg>(2, 8 * 1024 * 1024));
+  EXPECT_EQ(net.active_directions(), 1u);
+  net.Close(conn);  // closing a busy direction must release it
+  EXPECT_EQ(net.active_directions(), 0u);
+  net.Run(SecToSim(3.0));
+  EXPECT_EQ(net.active_directions(), 0u);
+  EXPECT_EQ(net.open_conn_entries(), 0u);
+}
+
 TEST(Dynamics, PeriodicHalvingIsCumulative) {
   Topology topo(4);
   for (NodeId n = 0; n < 4; ++n) {
