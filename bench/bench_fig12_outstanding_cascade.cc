@@ -21,8 +21,8 @@ namespace {
 constexpr int kNodes = 8;
 constexpr NodeId kSlowNode = 7;
 
-Topology Fig12Topology() {
-  Topology topo(kNodes);
+MeshTopology Fig12Topology() {
+  MeshTopology topo(kNodes);
   for (NodeId n = 0; n < kNodes; ++n) {
     topo.uplink(n) = LinkParams{100e6, MsToSim(0), 0.0};
     topo.downlink(n) = LinkParams{100e6, MsToSim(0), 0.0};

@@ -109,7 +109,7 @@ BULLET_SCENARIO(fig15_shotgun, "Fig. 15 — Shotgun vs staggered parallel rsync"
   // Baseline: N rsync clients against one server with K parallel slots.
   for (const int parallel : {2, 4, 8, 16}) {
     Rng topo_rng(seed ^ 0x74d3c2e1b5a69788ULL);  // same topology as the Shotgun run
-    Topology topo = Topology::WideArea(nodes, topo_rng);
+    MeshTopology topo = MeshTopology::WideArea(nodes, topo_rng);
 
     NetworkConfig net_config;
     Network net(std::move(topo), net_config, seed);

@@ -17,10 +17,10 @@ int main(int argc, char** argv) {
   const double loss_max = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.03;
 
   bullet::Rng topo_rng(2026);
-  bullet::Topology::MeshParams mesh;
+  bullet::MeshTopology::MeshParams mesh;
   mesh.num_nodes = num_nodes;
   mesh.core_loss_max = loss_max;
-  bullet::Topology topo = bullet::Topology::FullMesh(mesh, topo_rng);
+  bullet::MeshTopology topo = bullet::MeshTopology::FullMesh(mesh, topo_rng);
 
   bullet::ExperimentParams params;
   params.seed = 11;

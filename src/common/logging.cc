@@ -63,4 +63,14 @@ void LogLine(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
 }
 
+namespace log_internal {
+
+void CheckFail(const char* condition, const char* file, int line) {
+  std::fprintf(stderr, "BULLET_CHECK failed: %s (%s:%d)\n", condition, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace log_internal
+
 }  // namespace bullet

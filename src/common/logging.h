@@ -27,6 +27,8 @@ void LogLine(LogLevel level, const std::string& msg);
 
 namespace log_internal {
 
+[[noreturn]] void CheckFail(const char* condition, const char* file, int line);
+
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
@@ -44,6 +46,15 @@ class LogMessage {
   if (!::bullet::LogEnabled(::bullet::LogLevel::level)) { \
   } else                                             \
     ::bullet::log_internal::LogMessage(::bullet::LogLevel::level).stream()
+
+// Always-on invariant check (release builds included): prints the failed
+// condition with its location to stderr and aborts. Used for cheap structural
+// invariants (index bounds, id-space overflow) whose violation would otherwise
+// corrupt a simulation silently; attach context with the `cond && "message"`
+// idiom.
+#define BULLET_CHECK(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::bullet::log_internal::CheckFail(#cond, __FILE__, __LINE__))
 
 }  // namespace bullet
 

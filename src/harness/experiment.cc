@@ -2,7 +2,8 @@
 
 namespace bullet {
 
-Experiment::Experiment(Topology topology, const ExperimentParams& params) : params_(params) {
+Experiment::Experiment(std::unique_ptr<Topology> topology, const ExperimentParams& params)
+    : params_(params) {
   NetworkConfig net_config;
   net_config.quantum = params.quantum;
   net_config.allocator_mode = params.full_recompute_allocator

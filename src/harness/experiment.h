@@ -7,6 +7,8 @@
 
 #include <functional>
 #include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/overlay/control_tree.h"
@@ -42,7 +44,12 @@ class Experiment {
   using ProtocolFactory =
       std::function<std::unique_ptr<Protocol>(const Protocol::Context&, const ControlTree*)>;
 
-  Experiment(Topology topology, const ExperimentParams& params);
+  Experiment(std::unique_ptr<Topology> topology, const ExperimentParams& params);
+  // Convenience: wrap a concrete topology value (MeshTopology, RoutedTopology).
+  template <typename TopologyType,
+            typename = std::enable_if_t<std::is_base_of_v<Topology, std::decay_t<TopologyType>>>>
+  Experiment(TopologyType topology, const ExperimentParams& params)
+      : Experiment(std::make_unique<std::decay_t<TopologyType>>(std::move(topology)), params) {}
 
   Network& net() { return *net_; }
   const ControlTree& tree() const { return tree_; }

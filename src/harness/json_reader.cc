@@ -63,6 +63,11 @@ JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> v) {
 
 namespace {
 
+// Containers nest recursively in ParseValue; a hostile document of 100k '['s
+// would otherwise recurse straight through the stack. Far deeper than any
+// bench document, far shallower than any stack.
+constexpr int kMaxNestingDepth = 256;
+
 class Parser {
  public:
   Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
@@ -105,10 +110,24 @@ class Parser {
       return Fail("unexpected end of input");
     }
     switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
+      case '{': {
+        if (depth_ >= kMaxNestingDepth) {
+          return Fail("nesting deeper than 256 containers");
+        }
+        ++depth_;
+        const bool ok = ParseObject(out);
+        --depth_;
+        return ok;
+      }
+      case '[': {
+        if (depth_ >= kMaxNestingDepth) {
+          return Fail("nesting deeper than 256 containers");
+        }
+        ++depth_;
+        const bool ok = ParseArray(out);
+        --depth_;
+        return ok;
+      }
       case '"': {
         std::string s;
         if (!ParseString(&s)) {
@@ -299,6 +318,12 @@ class Parser {
     if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
     }
+    // JSON numbers start with a digit after the optional minus; without this,
+    // strtod's looser grammar would accept e.g. "+1".
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      return Fail("expected a value");
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
@@ -323,6 +348,7 @@ class Parser {
   const std::string& text_;
   std::string* error_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

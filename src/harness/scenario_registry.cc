@@ -26,6 +26,11 @@ void ApplyScenarioOptions(const ScenarioOptions& opts, ScenarioConfig* cfg) {
     cfg->loss_min = 0.0;
     cfg->loss_max = *opts.loss;
   }
+  if (opts.topology) {
+    // Unknown names were already rejected by the CLI parser; a stale string
+    // reaching this point keeps the scenario's registered topology.
+    ParseTopologyName(*opts.topology, &cfg->topo);
+  }
 }
 
 void ScenarioReport::AddCompletion(const ScenarioResult& result) {

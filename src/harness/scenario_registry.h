@@ -29,6 +29,10 @@ struct ScenarioOptions {
   // Per-link loss rates become uniform in [0, loss] (the Section 4.1 process with
   // a caller-chosen ceiling); 0 disables loss entirely.
   std::optional<double> loss;
+  // Topology selector ("mesh" or "transit-stub", see ParseTopologyName).
+  // Fixed-topology scenarios (fig12, fig15, fig16, fig17) ignore it like any
+  // other override that does not apply.
+  std::optional<std::string> topology;
 };
 
 // Applies the generic overrides onto a scenario's default config.

@@ -117,6 +117,16 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
         return args;
       }
       args.options.deadline_sec = v;
+    } else if (MatchesFlag(arg, "--topology")) {
+      std::string text;
+      ScenarioConfig::Topo topo;
+      if (!ConsumeString(argc, argv, &i, arg, "--topology", &text) ||
+          !ParseTopologyName(text, &topo)) {
+        args.ok = false;
+        args.error = "--topology requires 'mesh' or 'transit-stub'";
+        return args;
+      }
+      args.options.topology = text;
     } else if (MatchesFlag(arg, "--loss")) {
       std::string text;
       double v = 0.0;
@@ -219,6 +229,9 @@ void WriteReportJson(std::ostream& os, const ScenarioReport& report,
   if (options.deadline_sec) {
     json.Field("deadline_sec", *options.deadline_sec);
   }
+  if (options.topology) {
+    json.Field("topology", *options.topology);
+  }
   json.EndObject();
 
   json.Key("scalars").BeginObject();
@@ -278,6 +291,8 @@ void PrintRunnerUsage(std::ostream& os) {
         "  --block-bytes B    block size in bytes\n"
         "  --deadline-sec D   simulated-time deadline\n"
         "  --loss L           per-link loss rates become uniform in [0, L]\n"
+        "  --topology T       mesh | transit-stub (routed sparse graph with shared\n"
+        "                     interior links; fixed-topology scenarios ignore it)\n"
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
@@ -351,6 +366,9 @@ bool BuildSweepSpec(const RunnerArgs& args, SweepSpec* spec, std::string* error)
   }
   if (o.loss) {
     spec->base.loss = o.loss;
+  }
+  if (o.topology) {
+    spec->base.topology = o.topology;
   }
   if (o.seed) {
     spec->base_seed = *o.seed;

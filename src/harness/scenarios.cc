@@ -23,27 +23,46 @@ const char* SystemName(System system) {
   return "?";
 }
 
-Topology BuildScenarioTopology(const ScenarioConfig& cfg) {
+std::unique_ptr<Topology> BuildScenarioTopology(const ScenarioConfig& cfg) {
   Rng rng(cfg.seed ^ 0x74d3c2e1b5a69788ULL);
   switch (cfg.topo) {
     case ScenarioConfig::Topo::kMesh: {
-      Topology::MeshParams mesh;
+      MeshTopology::MeshParams mesh;
       mesh.num_nodes = cfg.num_nodes;
       mesh.core_loss_min = cfg.loss_min;
       mesh.core_loss_max = cfg.loss_max;
-      return Topology::FullMesh(mesh, rng);
+      return std::make_unique<MeshTopology>(MeshTopology::FullMesh(mesh, rng));
     }
     case ScenarioConfig::Topo::kConstrained:
-      return Topology::ConstrainedAccess(cfg.num_nodes, rng);
+      return std::make_unique<MeshTopology>(MeshTopology::ConstrainedAccess(cfg.num_nodes, rng));
     case ScenarioConfig::Topo::kUniform:
-      return Topology::Uniform(cfg.num_nodes, cfg.uniform_bps, cfg.uniform_delay, cfg.loss_min,
-                               cfg.loss_max, rng);
+      return std::make_unique<MeshTopology>(MeshTopology::Uniform(
+          cfg.num_nodes, cfg.uniform_bps, cfg.uniform_delay, cfg.loss_min, cfg.loss_max, rng));
     case ScenarioConfig::Topo::kWideArea:
-      return Topology::WideArea(cfg.num_nodes, rng);
+      return std::make_unique<MeshTopology>(MeshTopology::WideArea(cfg.num_nodes, rng));
+    case ScenarioConfig::Topo::kTransitStub: {
+      RoutedTopology::TransitStubParams params = cfg.transit_stub;
+      params.num_nodes = cfg.num_nodes;
+      params.transit_loss_min = cfg.loss_min;
+      params.transit_loss_max = cfg.loss_max;
+      return std::make_unique<RoutedTopology>(RoutedTopology::TransitStub(params, rng));
+    }
   }
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = cfg.num_nodes;
-  return Topology::FullMesh(mesh, rng);
+  return std::make_unique<MeshTopology>(MeshTopology::FullMesh(mesh, rng));
+}
+
+bool ParseTopologyName(const std::string& name, ScenarioConfig::Topo* topo) {
+  if (name == "mesh") {
+    *topo = ScenarioConfig::Topo::kMesh;
+    return true;
+  }
+  if (name == "transit-stub") {
+    *topo = ScenarioConfig::Topo::kTransitStub;
+    return true;
+  }
+  return false;
 }
 
 ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const BulletPrimeConfig& bp) {
@@ -101,6 +120,7 @@ ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const Bulle
   result.control_overhead = metrics.ControlOverheadFraction();
   result.completed = metrics.completed();
   result.receivers = cfg.num_nodes - 1;
+  result.max_shared_link_flows = exp.net().max_interior_link_flows();
   return result;
 }
 

@@ -5,6 +5,7 @@
 #ifndef SRC_HARNESS_SCENARIOS_H_
 #define SRC_HARNESS_SCENARIOS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,9 +30,13 @@ struct ScenarioConfig {
     kConstrained,  // Section 4.4: ample core, 800 Kbps access
     kUniform,      // Section 4.5: uniform links (bandwidth/latency below)
     kWideArea,     // Section 4.7: synthetic PlanetLab stand-in
+    kTransitStub,  // Routed sparse transit-stub graph with shared interior links
   };
 
   Topo topo = Topo::kMesh;
+  // Transit-stub shape when topo == kTransitStub; num_nodes and the loss range
+  // above override the corresponding fields at build time.
+  RoutedTopology::TransitStubParams transit_stub;
   int num_nodes = 100;
   double file_mb = 100.0;
   int64_t block_bytes = 16 * 1024;
@@ -66,10 +71,17 @@ struct ScenarioResult {
   double control_overhead = 0.0;
   int completed = 0;
   int receivers = 0;
+  // Peak flows the allocator saw sharing one interior link (see
+  // Network::max_interior_link_flows); > 1 only when pairs truly share links.
+  int32_t max_shared_link_flows = 0;
 };
 
 // Builds the topology for `cfg` (deterministic in cfg.seed).
-Topology BuildScenarioTopology(const ScenarioConfig& cfg);
+std::unique_ptr<Topology> BuildScenarioTopology(const ScenarioConfig& cfg);
+
+// Parses a --topology CLI value ("mesh" or "transit-stub") onto `*topo`;
+// returns false on anything else.
+bool ParseTopologyName(const std::string& name, ScenarioConfig::Topo* topo);
 
 // Runs one system through the scenario. `bp` applies when system == kBulletPrime.
 ScenarioResult RunScenario(System system, const ScenarioConfig& cfg,

@@ -92,6 +92,14 @@ bool ParseSweepAxisSpec(const std::string& text, SweepAxis* axis, std::string* e
     if (!ValidateParam(parsed.key, v, error)) {
       return false;
     }
+    // A repeated value would silently run the same grid point twice under two
+    // point indices (distinct derived seeds), which is almost always a typo.
+    for (const double prev : parsed.values) {
+      if (prev == v) {
+        *error = "duplicate value '" + item + "' in sweep axis '" + parsed.key + "'";
+        return false;
+      }
+    }
     parsed.values.push_back(v);
     if (comma == std::string::npos) {
       break;

@@ -81,7 +81,8 @@ uint64_t DeriveSweepSeed(uint64_t base_seed, int point_index, int repeat);
 
 // Parses "key=v1,v2,..." (the --sweep argument form). On failure returns false and
 // sets *error; *axis is only written on success. Values are validated against the
-// same ranges as the corresponding single-run flags.
+// same ranges as the corresponding single-run flags; empty and repeated values in
+// one axis are errors (a duplicate would silently run one grid point twice).
 bool ParseSweepAxisSpec(const std::string& text, SweepAxis* axis, std::string* error);
 
 // Parses a sweep spec file: one directive per line, '#' comments and blank lines

@@ -15,18 +15,25 @@ struct HeapEntry {
   bool operator>(const HeapEntry& o) const { return share > o.share; }
 };
 
-}  // namespace
-
-void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& link_capacity_bps) {
+// The stateless reference body shared by AllocateMaxMin and AllocateMaxMinPaths.
+// Flows arrive CSR-style: flow i crosses flow_links[flow_off[i] .. flow_off[i+1])
+// (negative entries are skipped). Every auxiliary structure is built fresh per
+// call; IncrementalMaxMin::Allocate() mirrors this body line for line over
+// persistent storage, and the invariants tests compare the two bitwise.
+void ReferenceMaxMin(const std::vector<int32_t>& flow_links, const std::vector<uint32_t>& flow_off,
+                     const std::vector<double>& cap, const std::vector<double>& link_capacity_bps,
+                     std::vector<double>& rate) {
   const size_t num_links = link_capacity_bps.size();
+  const size_t num_flows = cap.size();
   std::vector<double> remaining(link_capacity_bps);
   std::vector<int32_t> nflows(num_links, 0);
   std::vector<uint32_t> stamp(num_links, 0);
+  rate.assign(num_flows, 0.0);
 
   std::vector<std::vector<uint32_t>> link_flows(num_links);
-  for (size_t i = 0; i < flows.size(); ++i) {
-    flows[i].rate_bps = 0.0;
-    for (int32_t l : flows[i].links) {
+  for (size_t i = 0; i < num_flows; ++i) {
+    for (uint32_t off = flow_off[i]; off < flow_off[i + 1]; ++off) {
+      const int32_t l = flow_links[off];
       if (l >= 0) {
         ++nflows[static_cast<size_t>(l)];
         link_flows[static_cast<size_t>(l)].push_back(static_cast<uint32_t>(i));
@@ -35,15 +42,21 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
   }
 
   // Flow indices ordered by ascending cap, so cap-limited flows freeze cheaply.
-  std::vector<size_t> by_cap(flows.size());
-  for (size_t i = 0; i < flows.size(); ++i) {
-    by_cap[i] = i;
+  // Equal-cap flows may land in any order: they freeze at equal rates, and
+  // subtracting equal values commutes bitwise, so the permutation is harmless.
+  std::vector<std::pair<double, uint32_t>> sort_buf(num_flows);
+  for (size_t i = 0; i < num_flows; ++i) {
+    sort_buf[i] = {cap[i], static_cast<uint32_t>(i)};
   }
-  std::sort(by_cap.begin(), by_cap.end(),
-            [&](size_t a, size_t b) { return flows[a].cap_bps < flows[b].cap_bps; });
+  std::sort(sort_buf.begin(), sort_buf.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<size_t> by_cap(num_flows);
+  for (size_t i = 0; i < num_flows; ++i) {
+    by_cap[i] = sort_buf[i].second;
+  }
   size_t cap_cursor = 0;
 
-  std::vector<char> frozen(flows.size(), 0);
+  std::vector<char> frozen(num_flows, 0);
   size_t frozen_count = 0;
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
@@ -57,18 +70,18 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
     push_link(static_cast<int32_t>(l));
   }
 
-  // Freeze one flow at `rate`, removing its demand from its links.
-  auto freeze = [&](size_t fi, double rate) {
-    FlowSpec& f = flows[fi];
-    f.rate_bps = std::max(rate, 0.0);
+  // Freeze one flow at `r`, removing its demand from its links.
+  auto freeze = [&](size_t fi, double r) {
+    rate[fi] = std::max(r, 0.0);
     frozen[fi] = 1;
     ++frozen_count;
-    for (int32_t l : f.links) {
+    for (uint32_t off = flow_off[fi]; off < flow_off[fi + 1]; ++off) {
+      const int32_t l = flow_links[off];
       if (l < 0) {
         continue;
       }
       const size_t li = static_cast<size_t>(l);
-      remaining[li] = std::max(0.0, remaining[li] - f.rate_bps);
+      remaining[li] = std::max(0.0, remaining[li] - rate[fi]);
       --nflows[li];
       ++stamp[li];
       push_link(l);
@@ -76,15 +89,19 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
   };
 
   // Flows that traverse no links are bounded only by their cap.
-  for (size_t i = 0; i < flows.size(); ++i) {
-    if (flows[i].links[0] < 0 && flows[i].links[1] < 0 && flows[i].links[2] < 0 && !frozen[i]) {
+  for (size_t i = 0; i < num_flows; ++i) {
+    bool has_link = false;
+    for (uint32_t off = flow_off[i]; off < flow_off[i + 1]; ++off) {
+      has_link |= flow_links[off] >= 0;
+    }
+    if (!has_link && !frozen[i]) {
       frozen[i] = 1;
       ++frozen_count;
-      flows[i].rate_bps = flows[i].cap_bps;
+      rate[i] = cap[i];
     }
   }
 
-  while (frozen_count < flows.size()) {
+  while (frozen_count < num_flows) {
     // Find the currently most constrained link (skip stale heap entries).
     double min_share = -1.0;
     int32_t min_link = -1;
@@ -101,11 +118,11 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
     }
     if (min_link < 0) {
       // No constrained link remains; all unfrozen flows get their caps.
-      for (size_t i = 0; i < flows.size(); ++i) {
+      for (size_t i = 0; i < num_flows; ++i) {
         if (!frozen[i]) {
           frozen[i] = 1;
           ++frozen_count;
-          flows[i].rate_bps = flows[i].cap_bps;
+          rate[i] = cap[i];
         }
       }
       break;
@@ -120,8 +137,8 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
         ++cap_cursor;
         continue;
       }
-      if (flows[fi].cap_bps <= min_share) {
-        freeze(fi, flows[fi].cap_bps);
+      if (cap[fi] <= min_share) {
+        freeze(fi, cap[fi]);
         ++cap_cursor;
         froze_capped = true;
       } else {
@@ -143,9 +160,50 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
   }
 }
 
+}  // namespace
+
+void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& link_capacity_bps) {
+  // Fixed-3 flows become CSR rows of exactly three entries (-1 slots included and
+  // skipped inside, matching the historical behaviour bit for bit).
+  std::vector<int32_t> flow_links;
+  flow_links.reserve(3 * flows.size());
+  std::vector<uint32_t> flow_off(flows.size() + 1, 0);
+  std::vector<double> cap(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    for (int32_t l : flows[i].links) {
+      flow_links.push_back(l);
+    }
+    flow_off[i + 1] = static_cast<uint32_t>(flow_links.size());
+    cap[i] = flows[i].cap_bps;
+  }
+  std::vector<double> rate;
+  ReferenceMaxMin(flow_links, flow_off, cap, link_capacity_bps, rate);
+  for (size_t i = 0; i < flows.size(); ++i) {
+    flows[i].rate_bps = rate[i];
+  }
+}
+
+void AllocateMaxMinPaths(std::vector<PathFlowSpec>& flows,
+                         const std::vector<double>& link_capacity_bps) {
+  std::vector<int32_t> flow_links;
+  std::vector<uint32_t> flow_off(flows.size() + 1, 0);
+  std::vector<double> cap(flows.size());
+  for (size_t i = 0; i < flows.size(); ++i) {
+    flow_links.insert(flow_links.end(), flows[i].links.begin(), flows[i].links.end());
+    flow_off[i + 1] = static_cast<uint32_t>(flow_links.size());
+    cap[i] = flows[i].cap_bps;
+  }
+  std::vector<double> rate;
+  ReferenceMaxMin(flow_links, flow_off, cap, link_capacity_bps, rate);
+  for (size_t i = 0; i < flows.size(); ++i) {
+    flows[i].rate_bps = rate[i];
+  }
+}
+
 void IncrementalMaxMin::BeginEpoch(size_t keep_links) {
   capacity_.resize(keep_links);
   flow_links_.clear();
+  flow_off_.assign(1, 0);
   cap_.clear();
   rate_.clear();
 }
@@ -160,10 +218,17 @@ void IncrementalMaxMin::AddFlow(int32_t l0, int32_t l1, int32_t l2, double cap_b
   flow_links_.push_back(l0);
   flow_links_.push_back(l1);
   flow_links_.push_back(l2);
+  flow_off_.push_back(static_cast<uint32_t>(flow_links_.size()));
   cap_.push_back(cap_bps);
 }
 
-// The reference algorithm (AllocateMaxMin above) with every auxiliary structure
+void IncrementalMaxMin::AddFlowPath(const int32_t* ids, size_t num_ids, double cap_bps) {
+  flow_links_.insert(flow_links_.end(), ids, ids + num_ids);
+  flow_off_.push_back(static_cast<uint32_t>(flow_links_.size()));
+  cap_.push_back(cap_bps);
+}
+
+// The reference algorithm (ReferenceMaxMin above) with every auxiliary structure
 // replaced by a persistent, allocation-free equivalent:
 //   link_flows (vector of vectors)  ->  CSR arrays rebuilt with two linear passes
 //   priority_queue                  ->  the same priority_queue over a reused vector
@@ -181,8 +246,7 @@ void IncrementalMaxMin::Allocate() {
 
   // CSR build: count per-link flows, prefix-sum, then fill in flow order so each
   // link's flow sequence matches the reference's push_back order.
-  for (size_t i = 0; i < 3 * num_flows; ++i) {
-    const int32_t l = flow_links_[i];
+  for (const int32_t l : flow_links_) {
     if (l >= 0) {
       ++nflows_[static_cast<size_t>(l)];
     }
@@ -194,8 +258,8 @@ void IncrementalMaxMin::Allocate() {
   link_flow_.resize(link_off_[num_links]);
   fill_cursor_.assign(link_off_.begin(), link_off_.end() - 1);
   for (size_t i = 0; i < num_flows; ++i) {
-    for (int k = 0; k < 3; ++k) {
-      const int32_t l = flow_links_[3 * i + k];
+    for (uint32_t off = flow_off_[i]; off < flow_off_[i + 1]; ++off) {
+      const int32_t l = flow_links_[off];
       if (l >= 0) {
         link_flow_[fill_cursor_[static_cast<size_t>(l)]++] = static_cast<uint32_t>(i);
       }
@@ -206,8 +270,7 @@ void IncrementalMaxMin::Allocate() {
   // gathered comparator (no indirection per comparison). The relative order of
   // equal caps is whatever the sort produces: equal-cap flows freeze at equal
   // rates, and subtracting equal values commutes bitwise, so any permutation of
-  // an equal-cap run yields bit-identical results (the reference implementation
-  // sorts indices instead and may order such runs differently — harmlessly).
+  // an equal-cap run yields bit-identical results.
   sort_buf_.resize(num_flows);
   for (size_t i = 0; i < num_flows; ++i) {
     sort_buf_[i] = {cap_[i], static_cast<uint32_t>(i)};
@@ -238,8 +301,8 @@ void IncrementalMaxMin::Allocate() {
     rate_[fi] = std::max(rate, 0.0);
     frozen_[fi] = 1;
     ++frozen_count;
-    for (int k = 0; k < 3; ++k) {
-      const int32_t l = flow_links_[3 * fi + k];
+    for (uint32_t off = flow_off_[fi]; off < flow_off_[fi + 1]; ++off) {
+      const int32_t l = flow_links_[off];
       if (l < 0) {
         continue;
       }
@@ -252,8 +315,11 @@ void IncrementalMaxMin::Allocate() {
   };
 
   for (size_t i = 0; i < num_flows; ++i) {
-    if (flow_links_[3 * i] < 0 && flow_links_[3 * i + 1] < 0 && flow_links_[3 * i + 2] < 0 &&
-        !frozen_[i]) {
+    bool has_link = false;
+    for (uint32_t off = flow_off_[i]; off < flow_off_[i + 1]; ++off) {
+      has_link |= flow_links_[off] >= 0;
+    }
+    if (!has_link && !frozen_[i]) {
       frozen_[i] = 1;
       ++frozen_count;
       rate_[i] = cap_[i];

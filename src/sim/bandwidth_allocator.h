@@ -1,35 +1,42 @@
 // Max-min fair bandwidth allocation with per-flow rate caps.
 //
-// Each active flow traverses up to three links (sender uplink, core link, receiver
-// downlink) and may additionally be capped by its TCP model. Progressive filling
-// computes the unique max-min allocation: repeatedly find the most constrained link,
-// freeze its flows at the fair share, and redistribute. Flows whose cap is below the
-// current water level are frozen at their cap first.
+// Each active flow traverses an arbitrary list of links — on the legacy mesh that
+// is (sender uplink, receiver downlink, core link); on a routed topology it is the
+// access links plus every interior link of the flow's route — and may additionally
+// be capped by its TCP model. Progressive filling computes the unique max-min
+// allocation: repeatedly find the most constrained link, freeze its flows at the
+// fair share, and redistribute. Flows whose cap is below the current water level
+// are frozen at their cap first.
 //
 // Two implementations share the algorithm:
 //
-//  * AllocateMaxMin — the stateless reference. Builds every auxiliary structure per
-//    call; kept verbatim as the ground truth the property tests compare against and
-//    as the pre-PR "full recompute every quantum" network mode.
+//  * AllocateMaxMin / AllocateMaxMinPaths — the stateless reference. Builds every
+//    auxiliary structure per call; kept as the ground truth the property tests
+//    compare against and as the pre-PR "full recompute every quantum" network
+//    mode. AllocateMaxMin is the historical fixed-3-link entry point; Paths takes
+//    a variable-length link list per flow. Both funnel into one reference body,
+//    and a 3-link flow performs the identical arithmetic through either.
 //
-//  * IncrementalMaxMin — the hot-path engine. All scratch (per-link flow lists as a
-//    CSR array, the saturation heap, the cap-sorted index, freeze flags) persists
-//    across allocation epochs, so a recompute performs zero heap allocations after
-//    warm-up. Callers dirty-track their flow set and simply skip Allocate() when
-//    nothing changed: the previous rates are, by determinism, exactly what a
-//    recompute would produce.
+//  * IncrementalMaxMin — the hot-path engine. All scratch (per-link flow lists as
+//    a CSR array, the saturation heap, the cap-sorted index, freeze flags)
+//    persists across allocation epochs, so a recompute performs zero heap
+//    allocations after warm-up. Callers dirty-track their flow set and simply
+//    skip Allocate() when nothing changed: the previous rates are, by
+//    determinism, exactly what a recompute would produce.
 //
-// Bit-exactness contract: for the same sequence of links and flows,
-// IncrementalMaxMin::Allocate() produces rates bit-identical to AllocateMaxMin.
-// This is load-bearing — the max-min water level is a chain of FP subtractions
-// whose low-order bits depend on freeze order, and freeze order depends on flow
-// and link numbering (sort and heap tie-breaks). Both implementations therefore
-// perform the identical operation sequence (same sort call, same heap algorithm,
-// same update arithmetic), and the network feeds them flows in the identical
-// order. Partial recomputation of "affected bottleneck groups" cannot meet this
-// contract (restricting the heap to a subgraph changes tie resolution), which is
-// why incrementality here means exact result reuse plus allocation-free rebuild
-// rather than subgraph water-filling.
+// Bit-exactness contract: for the same sequence of links and flows (same link
+// ids, same per-flow link order), IncrementalMaxMin::Allocate() produces rates
+// bit-identical to the reference. This is load-bearing — the max-min water level
+// is a chain of FP subtractions whose low-order bits depend on freeze order, and
+// freeze order depends on flow and link numbering (sort and heap tie-breaks).
+// Both implementations therefore perform the identical operation sequence (same
+// sort call, same heap algorithm, same update arithmetic), and the network feeds
+// them flows in the identical order. Equal-cap flows may be permuted by the sort:
+// they freeze at equal rates, and subtracting equal values commutes bitwise, so
+// such permutations are harmless. Partial recomputation of "affected bottleneck
+// groups" cannot meet this contract (restricting the heap to a subgraph changes
+// tie resolution), which is why incrementality here means exact result reuse
+// plus allocation-free rebuild rather than subgraph water-filling.
 
 #ifndef SRC_SIM_BANDWIDTH_ALLOCATOR_H_
 #define SRC_SIM_BANDWIDTH_ALLOCATOR_H_
@@ -50,15 +57,31 @@ struct FlowSpec {
   double rate_bps = 0.0;
 };
 
+// Variable-length counterpart of FlowSpec for routed paths: a flow crosses every
+// link id in `links` (negative entries are ignored, mirroring FlowSpec's -1).
+struct PathFlowSpec {
+  std::vector<int32_t> links;
+  double cap_bps = 0.0;
+  double rate_bps = 0.0;  // output
+};
+
 // Computes the allocation in place. `link_capacity_bps[i]` is the capacity of link i.
 // Runs in O(F log F + saturation events * log L).
 void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& link_capacity_bps);
+
+// As AllocateMaxMin, for flows that cross arbitrary-length link lists. A flow
+// whose `links` holds exactly three entries allocates bit-identically to the
+// same flow through AllocateMaxMin.
+void AllocateMaxMinPaths(std::vector<PathFlowSpec>& flows,
+                         const std::vector<double>& link_capacity_bps);
 
 // Reusable-scratch max-min engine. Usage per allocation epoch:
 //
 //   alloc.BeginEpoch();
 //   for each link (fixed ids first, discovered ones after): alloc.AddLink(capacity);
-//   for each flow in the caller's canonical order: alloc.AddFlow(l0, l1, l2, cap);
+//   for each flow in the caller's canonical order:
+//     alloc.AddFlow(l0, l1, l2, cap);            // legacy fixed-3 form, or
+//     alloc.AddFlowPath(ids, num_ids, cap);      // routed variable-length form
 //   alloc.Allocate();
 //   ... alloc.rate(i) ...
 //
@@ -76,18 +99,28 @@ class IncrementalMaxMin {
   // Registers the next link; ids are assigned densely in call order.
   int32_t AddLink(double capacity_bps);
 
-  // Registers the next flow (index = number of AddFlow calls so far this epoch).
+  // Registers the next flow (index = number of AddFlow* calls so far this epoch).
   // Unused link slots are -1.
   void AddFlow(int32_t l0, int32_t l1, int32_t l2, double cap_bps);
 
-  // Water-fills the current epoch. Bit-identical to AllocateMaxMin over the same
-  // links/flows sequence.
+  // Registers the next flow crossing `num_ids` links (negative ids are ignored).
+  void AddFlowPath(const int32_t* ids, size_t num_ids, double cap_bps);
+
+  // Water-fills the current epoch. Bit-identical to the stateless reference over
+  // the same links/flows sequence.
   void Allocate();
 
   size_t num_flows() const { return cap_.size(); }
   size_t num_links() const { return capacity_.size(); }
   double rate(size_t flow_index) const { return rate_[flow_index]; }
   const std::vector<double>& rates() const { return rate_; }
+
+  // Number of flows the last Allocate() saw on `link` (CSR row width). Valid
+  // until the next BeginEpoch(); used by the network's shared-bottleneck
+  // introspection.
+  int32_t flows_on_link(size_t link) const {
+    return static_cast<int32_t>(link_off_[link + 1] - link_off_[link]);
+  }
 
  private:
   struct HeapEntry {
@@ -105,9 +138,11 @@ class IncrementalMaxMin {
     void reserve(size_t n) { c.reserve(n); }
   };
 
-  // Epoch inputs.
-  std::vector<double> capacity_;   // per link
-  std::vector<int32_t> flow_links_;  // 3 per flow, -1 padded
+  // Epoch inputs. Flows are stored CSR-style: flow i crosses
+  // flow_links_[flow_off_[i] .. flow_off_[i+1]).
+  std::vector<double> capacity_;     // per link
+  std::vector<int32_t> flow_links_;  // CSR payload (may contain negative = unused)
+  std::vector<uint32_t> flow_off_;   // CSR offsets, size F+1
   std::vector<double> cap_;          // per flow
   std::vector<double> rate_;         // per flow (output)
 

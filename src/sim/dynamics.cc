@@ -33,7 +33,10 @@ void FireBandwidthChange(Network& net, const BandwidthDynamicsParams& params) {
       if (net.IsNodeFailed(s) || net.IsNodeFailed(r)) {
         continue;
       }
-      topo.core(s, r).bandwidth_bps *= params.factor;
+      // Mesh: exactly the private core(s, r) link, as in the paper. Routed:
+      // every interior link of the s->r route, so decreases aimed at different
+      // receivers compound on shared links (see topology.h).
+      topo.ScalePathBandwidth(s, r, params.factor);
     }
   }
 }
@@ -62,7 +65,7 @@ void StartCascade(Network& net, NodeId target, std::vector<NodeId> senders, SimT
                                 if (net.IsNodeFailed(s) || net.IsNodeFailed(target)) {
                                   return;  // dead links: collapsing them is a no-op
                                 }
-                                net.topology().core(s, target).bandwidth_bps = new_bps;
+                                net.topology().SetPathBandwidth(s, target, new_bps);
                               });
   }
 }

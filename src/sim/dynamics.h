@@ -6,6 +6,17 @@
 // participants uniformly at random; for each, choose 50% of the other participants
 // and halve the core-link bandwidth from those nodes toward the chosen one (the
 // reverse direction is unaffected; decreases are cumulative).
+//
+// Topology mapping: on the mesh, "the bandwidth from s toward r" is the private
+// core(s, r) link, so each decrease touches exactly one pair — the paper's
+// setup, bit for bit. On a RoutedTopology the same driver halves every interior
+// link of the s->r route (Topology::ScalePathBandwidth): a shared transit or
+// stub-gateway link sampled via several receivers in one firing degrades once
+// per sampled (s, r) pair that routes across it, so decreases are *correlated*
+// across flows sharing the link and *cumulative* across firings — the
+// sparse-graph reading of the paper's process. The RNG draw sequence depends
+// only on (node_fraction, sender_fraction, n), never on the topology class, so
+// mesh and routed runs with equal seeds sample identical (s, r) sets.
 
 #ifndef SRC_SIM_DYNAMICS_H_
 #define SRC_SIM_DYNAMICS_H_

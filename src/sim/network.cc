@@ -39,17 +39,17 @@ void Network::MsgRing::clear_and_release() {
   size_ = 0;
 }
 
-Network::Network(Topology topology, NetworkConfig config, uint64_t seed)
+Network::Network(std::unique_ptr<Topology> topology, NetworkConfig config, uint64_t seed)
     : topology_(std::move(topology)),
       config_(config),
       rng_(seed),
-      handlers_(static_cast<size_t>(topology_.num_nodes()), nullptr),
-      tx_bytes_(static_cast<size_t>(topology_.num_nodes()), 0),
-      rx_bytes_(static_cast<size_t>(topology_.num_nodes()), 0),
-      failed_(static_cast<size_t>(topology_.num_nodes()), 0) {
-  const size_t n = static_cast<size_t>(topology_.num_nodes());
-  core_epoch_.assign(n * n, 0);
-  core_link_id_.assign(n * n, -1);
+      handlers_(static_cast<size_t>(topology_->num_nodes()), nullptr),
+      tx_bytes_(static_cast<size_t>(topology_->num_nodes()), 0),
+      rx_bytes_(static_cast<size_t>(topology_->num_nodes()), 0),
+      failed_(static_cast<size_t>(topology_->num_nodes()), 0) {
+  const size_t interior_ids = static_cast<size_t>(topology_->interior_id_limit());
+  interior_epoch_.assign(interior_ids, 0);
+  interior_link_id_.assign(interior_ids, -1);
 }
 
 void Network::SetHandler(NodeId node, NetHandler* handler) {
@@ -89,21 +89,21 @@ ConnId Network::Connect(NodeId from, NodeId to) {
   conn->id = id;
   conn->node[0] = from;
   conn->node[1] = to;
-  const uint32_t n = static_cast<uint32_t>(topology_.num_nodes());
   for (int i = 0; i < 2; ++i) {
     const NodeId src = conn->node[i];
     const NodeId dst = conn->node[1 - i];
-    conn->path[i].path_delay = topology_.PathDelay(src, dst);
-    conn->path[i].rtt = topology_.Rtt(src, dst);
-    conn->path[i].loss = topology_.PathLoss(src, dst);
-    conn->path[i].core_key = static_cast<uint32_t>(src) * n + static_cast<uint32_t>(dst);
+    conn->path[i].path_delay = topology_->PathDelay(src, dst);
+    conn->path[i].rtt = topology_->Rtt(src, dst);
+    conn->path[i].loss = topology_->PathLoss(src, dst);
+    const Topology::PathView route = topology_->InteriorPath(src, dst);
+    conn->path[i].interior.assign(route.begin(), route.end());
   }
   conns_.push_back(std::move(conn));
   conn_busy_mask_.push_back(0);
   open_conns_.push_back(id);
 
   // TCP three-way handshake plus the first application-level write.
-  const SimTime established_at = now() + topology_.Rtt(from, to) * 3 / 2;
+  const SimTime established_at = now() + topology_->Rtt(from, to) * 3 / 2;
   queue_.Schedule(established_at, [this, id] {
     Conn* c = GetConn(id);
     if (c == nullptr || c->closed) {
@@ -153,7 +153,7 @@ void Network::Close(ConnId conn_id) {
   for (int i = 0; i < 2; ++i) {
     const NodeId endpoint = c->node[i];
     const NodeId peer = c->node[1 - i];
-    const SimTime at = i == 0 ? now() : now() + topology_.PathDelay(c->node[0], c->node[1]);
+    const SimTime at = i == 0 ? now() : now() + topology_->PathDelay(c->node[0], c->node[1]);
     queue_.Schedule(at, [this, conn_id, endpoint, peer] {
       NetHandler* h = handlers_[static_cast<size_t>(endpoint)];
       if (h != nullptr) {
@@ -331,43 +331,48 @@ void Network::Tick() {
 }
 
 // True when every link capacity the last allocation used is unchanged, so the
-// cached rates are still exact. Covers all access links plus the core links that
-// carried flows; links without flows cannot influence the allocation.
+// cached rates are still exact. Covers all access links plus the interior links
+// that carried flows; links without flows cannot influence the allocation.
 bool Network::CapacitiesUnchanged() const {
-  const int n = topology_.num_nodes();
+  const int n = topology_->num_nodes();
   if (base_caps_.size() != static_cast<size_t>(2 * n)) {
     return false;  // never allocated yet
   }
   for (NodeId i = 0; i < n; ++i) {
-    if (topology_.uplink(i).bandwidth_bps != base_caps_[static_cast<size_t>(i)] ||
-        topology_.downlink(i).bandwidth_bps != base_caps_[static_cast<size_t>(n + i)]) {
+    if (topology_->uplink(i).bandwidth_bps != base_caps_[static_cast<size_t>(i)] ||
+        topology_->downlink(i).bandwidth_bps != base_caps_[static_cast<size_t>(n + i)]) {
       return false;
     }
   }
-  for (const CoreCap& cc : core_caps_) {
-    if (topology_.core(cc.src, cc.dst).bandwidth_bps != cc.cap) {
+  for (const InteriorCap& ic : interior_caps_) {
+    if (topology_->interior_link(ic.id).bandwidth_bps != ic.cap) {
       return false;
     }
   }
   return true;
 }
 
-int32_t Network::CoreLinkIdForEpoch(uint32_t key, NodeId src, NodeId dst) {
-  if (core_epoch_[key] != epoch_counter_) {
-    core_epoch_[key] = epoch_counter_;
-    const double cap = topology_.core(src, dst).bandwidth_bps;
-    core_link_id_[key] = alloc_.AddLink(cap);
-    core_caps_.push_back(CoreCap{src, dst, cap});
+int32_t Network::InteriorLinkIdForEpoch(int32_t interior_id) {
+  const size_t key = static_cast<size_t>(interior_id);
+  // The epoch tables were sized from interior_id_limit() at construction; a
+  // topology that grew interior links afterwards would index past them.
+  BULLET_CHECK(key < interior_epoch_.size() &&
+               "topology gained interior links after the network was built");
+  if (interior_epoch_[key] != epoch_counter_) {
+    interior_epoch_[key] = epoch_counter_;
+    const double cap = topology_->interior_link(interior_id).bandwidth_bps;
+    interior_link_id_[key] = alloc_.AddLink(cap);
+    interior_caps_.push_back(InteriorCap{interior_id, cap});
   }
-  return core_link_id_[key];
+  return interior_link_id_[key];
 }
 
 // Rebuilds the active flow set and re-runs water-filling. Link ids and flow
-// order replicate the pre-PR tick exactly: uplink(i) = i, downlink(i) = n + i,
-// core links assigned densely in first-use order while scanning open_conns_ —
+// order replicate the pre-routed tick exactly: uplink(i) = i, downlink(i) = n + i,
+// interior links assigned densely in first-use order while scanning open_conns_ —
 // the allocator's FP results depend on these orders (see bandwidth_allocator.h).
 void Network::RebuildAndAllocate(bool base_caps_unchanged) {
-  const int n = topology_.num_nodes();
+  const int n = topology_->num_nodes();
   if (base_caps_unchanged && base_caps_.size() == static_cast<size_t>(2 * n)) {
     // Access-link capacities are verified unchanged; keep them in place.
     alloc_.BeginEpoch(static_cast<size_t>(2 * n));
@@ -375,18 +380,18 @@ void Network::RebuildAndAllocate(bool base_caps_unchanged) {
     alloc_.BeginEpoch(0);
     base_caps_.resize(static_cast<size_t>(2 * n));
     for (NodeId i = 0; i < n; ++i) {
-      const double up = topology_.uplink(i).bandwidth_bps;
+      const double up = topology_->uplink(i).bandwidth_bps;
       alloc_.AddLink(up);
       base_caps_[static_cast<size_t>(i)] = up;
     }
     for (NodeId i = 0; i < n; ++i) {
-      const double down = topology_.downlink(i).bandwidth_bps;
+      const double down = topology_->downlink(i).bandwidth_bps;
       alloc_.AddLink(down);
       base_caps_[static_cast<size_t>(n + i)] = down;
     }
   }
   ++epoch_counter_;
-  core_caps_.clear();
+  interior_caps_.clear();
   cached_flows_.clear();
   ramping_flows_ = 0;
 
@@ -403,7 +408,14 @@ void Network::RebuildAndAllocate(bool base_caps_unchanged) {
       Direction& dir = c->dir[i];
       const NodeId src = c->node[i];
       const NodeId dst = c->node[1 - i];
-      const int32_t core = CoreLinkIdForEpoch(c->path[i].core_key, src, dst);
+      // Allocator link list: uplink, downlink, then the interior links — the
+      // historical (src, n+dst, core) order generalized to routed paths.
+      flow_link_scratch_.clear();
+      flow_link_scratch_.push_back(src);
+      flow_link_scratch_.push_back(static_cast<int32_t>(n) + dst);
+      for (const int32_t interior_id : c->path[i].interior) {
+        flow_link_scratch_.push_back(InteriorLinkIdForEpoch(interior_id));
+      }
       if (!dir.cap_steady) {
         bool steady = false;
         dir.cap_cache = TcpRateCapDetail(dir.tcp, now(), c->path[i].rtt, c->path[i].loss,
@@ -413,12 +425,17 @@ void Network::RebuildAndAllocate(bool base_caps_unchanged) {
           ++ramping_flows_;
         }
       }
-      alloc_.AddFlow(src, static_cast<int32_t>(n) + dst, core, dir.cap_cache);
+      alloc_.AddFlowPath(flow_link_scratch_.data(), flow_link_scratch_.size(), dir.cap_cache);
       cached_flows_.push_back(CachedFlow{c, i});
     }
   }
 
   alloc_.Allocate();
+  // Shared-bottleneck introspection: widest interior link of this epoch (links
+  // below 2n are access links). The CSR row widths are valid after Allocate().
+  for (size_t l = static_cast<size_t>(2 * n); l < alloc_.num_links(); ++l) {
+    max_interior_link_flows_ = std::max(max_interior_link_flows_, alloc_.flows_on_link(l));
+  }
   // Ramping caps change next quantum, which changes the allocation; otherwise the
   // cached result stays exact until an activation/drain/close/capacity change.
   alloc_dirty_ = ramping_flows_ > 0;
@@ -459,21 +476,21 @@ void Network::AdvanceTransmissions(double dt_sec) {
   }
 }
 
-// The pre-PR tick body, verbatim: rebuild every auxiliary structure and
-// recompute all rates each quantum. Kept as the A/B reference for the
-// perf_core_scale benchmark and the determinism tests.
+// The pre-PR tick body: rebuild every auxiliary structure and recompute all
+// rates each quantum. Kept as the A/B reference for the perf_core_scale
+// benchmark and the determinism tests.
 void Network::TickFullRecompute(double dt_sec) {
-  // Build the active flow set. Link ids: uplink(n) = n, downlink(n) = N + n, core
-  // links assigned densely on demand.
-  const int n = topology_.num_nodes();
-  std::vector<FlowSpec> flows;
+  // Build the active flow set. Link ids: uplink(n) = n, downlink(n) = N + n,
+  // interior links assigned densely on demand.
+  const int n = topology_->num_nodes();
+  std::vector<PathFlowSpec> flows;
   std::vector<std::pair<ConnId, int>> flow_dirs;
   std::vector<double> capacities(static_cast<size_t>(2 * n));
   for (NodeId i = 0; i < n; ++i) {
-    capacities[static_cast<size_t>(i)] = topology_.uplink(i).bandwidth_bps;
-    capacities[static_cast<size_t>(n + i)] = topology_.downlink(i).bandwidth_bps;
+    capacities[static_cast<size_t>(i)] = topology_->uplink(i).bandwidth_bps;
+    capacities[static_cast<size_t>(n + i)] = topology_->downlink(i).bandwidth_bps;
   }
-  std::unordered_map<int64_t, int32_t> core_ids;
+  std::unordered_map<int32_t, int32_t> interior_ids;
   for (const ConnId id : open_conns_) {
     Conn* c = GetConn(id);
     if (!c->established) {
@@ -487,23 +504,42 @@ void Network::TickFullRecompute(double dt_sec) {
       }
       const NodeId src = c->node[i];
       const NodeId dst = c->node[1 - i];
-      const int64_t key = static_cast<int64_t>(src) * n + dst;
-      auto [it, inserted] = core_ids.emplace(key, static_cast<int32_t>(capacities.size()));
-      if (inserted) {
-        capacities.push_back(topology_.core(src, dst).bandwidth_bps);
+      PathFlowSpec flow;
+      flow.links.reserve(2 + c->path[i].interior.size());
+      flow.links.push_back(src);
+      flow.links.push_back(static_cast<int32_t>(n) + dst);
+      for (const int32_t interior_id : c->path[i].interior) {
+        auto [it, inserted] =
+            interior_ids.emplace(interior_id, static_cast<int32_t>(capacities.size()));
+        if (inserted) {
+          capacities.push_back(topology_->interior_link(interior_id).bandwidth_bps);
+        }
+        flow.links.push_back(it->second);
       }
-      FlowSpec flow;
-      flow.links[0] = src;
-      flow.links[1] = static_cast<int32_t>(n) + dst;
-      flow.links[2] = it->second;
-      flow.cap_bps = TcpRateCapBps(dir.tcp, now(), topology_.Rtt(src, dst),
-                                   topology_.PathLoss(src, dst), config_.tcp);
-      flows.push_back(flow);
+      // The PathCache snapshot equals the live Rtt/PathLoss lookups the pre-PR
+      // code performed here: delay and loss are static for a run's lifetime.
+      flow.cap_bps = TcpRateCapBps(dir.tcp, now(), c->path[i].rtt, c->path[i].loss, config_.tcp);
+      flows.push_back(std::move(flow));
       flow_dirs.emplace_back(id, i);
     }
   }
 
-  AllocateMaxMin(flows, capacities);
+  AllocateMaxMinPaths(flows, capacities);
+  // Shared-bottleneck introspection, mirroring RebuildAndAllocate: interior
+  // link ids start at 2n; count per-link flows directly from the flow lists.
+  if (capacities.size() > static_cast<size_t>(2 * n)) {
+    std::vector<int32_t> interior_flow_counts(capacities.size() - static_cast<size_t>(2 * n), 0);
+    for (const PathFlowSpec& flow : flows) {
+      for (const int32_t l : flow.links) {
+        if (l >= 2 * n) {
+          ++interior_flow_counts[static_cast<size_t>(l - 2 * n)];
+        }
+      }
+    }
+    for (const int32_t count : interior_flow_counts) {
+      max_interior_link_flows_ = std::max(max_interior_link_flows_, count);
+    }
+  }
 
   // Advance transmissions.
   for (size_t fi = 0; fi < flows.size(); ++fi) {

@@ -13,6 +13,15 @@
 // messages are delivered after the path's propagation delay, plus a retransmission
 // penalty drawn from the path loss rate; deliveries on one direction are in order.
 //
+// Topology generality (PR 4). A flow crosses its sender's uplink, its receiver's
+// downlink, and the interior links of the topology's s->d path — one private
+// core link on the legacy mesh, a shared multi-hop route on RoutedTopology.
+// Interior routes are snapshotted per direction at Connect() (propagation delay
+// and loss are static; only link bandwidth is dynamic), and interior link ids
+// are mapped to dense allocator ids per allocation epoch in first-use order —
+// on the mesh this reproduces the historical dense core-link-id scheme exactly,
+// so mesh results are bit-identical to the pre-routed implementation.
+//
 // Hot-path architecture (PR 3). The tick is event-driven in its *work*, not its
 // schedule: a tick event still fires every quantum (keeping the event-sequence
 // numbering — and therefore same-time tie-breaking — identical to the original
@@ -46,6 +55,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -100,13 +110,19 @@ struct NetworkConfig {
 
 class Network {
  public:
-  Network(Topology topology, NetworkConfig config, uint64_t seed);
+  Network(std::unique_ptr<Topology> topology, NetworkConfig config, uint64_t seed);
+  // Convenience: wrap a concrete topology value (MeshTopology, RoutedTopology).
+  template <typename TopologyType,
+            typename = std::enable_if_t<std::is_base_of_v<Topology, std::decay_t<TopologyType>>>>
+  Network(TopologyType topology, NetworkConfig config, uint64_t seed)
+      : Network(std::make_unique<std::decay_t<TopologyType>>(std::move(topology)), config, seed) {
+  }
 
   EventQueue& queue() { return queue_; }
   SimTime now() const { return queue_.now(); }
-  Topology& topology() { return topology_; }
+  Topology& topology() { return *topology_; }
   Rng& rng() { return rng_; }
-  int num_nodes() const { return topology_.num_nodes(); }
+  int num_nodes() const { return topology_->num_nodes(); }
 
   void SetHandler(NodeId node, NetHandler* handler);
 
@@ -150,6 +166,12 @@ class Network {
   size_t open_conn_entries() const { return open_conns_.size(); }
   // Directions currently holding queued bytes on established connections.
   size_t active_directions() const { return active_dirs_; }
+  // Peak number of flows the allocator saw sharing one interior link in any
+  // allocation epoch so far. On the mesh an interior link is private to an
+  // ordered pair (its two-or-more flows are parallel connections of that pair);
+  // on routed topologies this is the shared-bottleneck width — the
+  // fig16_shared_bottleneck scenario asserts it exceeds 1.
+  int32_t max_interior_link_flows() const { return max_interior_link_flows_; }
 
   // Runs the simulation until `until` or Stop().
   void Run(SimTime until);
@@ -194,15 +216,16 @@ class Network {
     bool cap_steady = false;
   };
 
-  // Per-direction path parameters snapshotted at Connect(). Propagation delay
-  // and loss are static during a run (only link *bandwidth* is dynamic — see
-  // dynamics.h), so these are the exact values the per-message topology lookups
-  // would produce, minus three scattered reads per message.
+  // Per-direction path parameters snapshotted at Connect(). Propagation delay,
+  // loss and the interior route are static during a run (only link *bandwidth*
+  // is dynamic — see dynamics.h), so these are the exact values the per-message
+  // topology lookups would produce, without re-walking the topology per message
+  // or per allocation epoch.
   struct PathCache {
     SimTime path_delay = 0;
     SimTime rtt = 0;
     double loss = 0.0;
-    uint32_t core_key = 0;  // src * num_nodes + dst, for the epoch core-id table
+    std::vector<int32_t> interior;  // topology interior link ids, path order
   };
 
   struct Conn {
@@ -229,12 +252,12 @@ class Network {
   bool CapacitiesUnchanged() const;
   void RebuildAndAllocate(bool base_caps_unchanged);
   void AdvanceTransmissions(double dt_sec);
-  int32_t CoreLinkIdForEpoch(uint32_t key, NodeId src, NodeId dst);
+  int32_t InteriorLinkIdForEpoch(int32_t interior_id);
   void ActivateDirection(Conn& c, int dir_idx);
   void DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<Message> msg);
   void EnqueueDelivery(ConnId conn_id, Conn& c, int sender_idx, std::unique_ptr<Message> msg);
 
-  Topology topology_;
+  std::unique_ptr<Topology> topology_;
   NetworkConfig config_;
   Rng rng_;
   EventQueue queue_;
@@ -264,22 +287,26 @@ class Network {
   // Capacities the last allocation was computed from, for change detection:
   // all access links (uplinks then downlinks, legacy id order) ...
   std::vector<double> base_caps_;
-  // ... plus every core link a flow used, as (src, dst, capacity).
-  struct CoreCap {
-    NodeId src;
-    NodeId dst;
+  // ... plus every interior link a flow used, as (topology id, capacity).
+  struct InteriorCap {
+    int32_t id;
     double cap;
   };
-  std::vector<CoreCap> core_caps_;
-  // Per-ordered-pair core link id for the current allocation epoch (stamped).
-  std::vector<uint32_t> core_epoch_;
-  std::vector<int32_t> core_link_id_;
+  std::vector<InteriorCap> interior_caps_;
+  // Per-topology-interior-link dense allocator id for the current allocation
+  // epoch (stamped). On the mesh the topology id is src*N+dst, reproducing the
+  // historical per-ordered-pair core-id table.
+  std::vector<uint32_t> interior_epoch_;
+  std::vector<int32_t> interior_link_id_;
   uint32_t epoch_counter_ = 0;
+  // Per-flow allocator link-id assembly buffer (uplink, downlink, interior...).
+  std::vector<int32_t> flow_link_scratch_;
 
   size_t active_dirs_ = 0;    // established directions with queued bytes
   size_t pending_close_ = 0;  // closes since the last compaction pass
   bool alloc_dirty_ = true;   // cached rates/flows invalid; rebuild on next tick
   size_t ramping_flows_ = 0;  // flows whose TCP cap was not yet steady at rebuild
+  int32_t max_interior_link_flows_ = 0;
 
   SimTime last_tick_ = 0;
   SimTime tick_anchor_ = 0;  // time of the first tick; the grid is anchor + k*quantum

@@ -11,12 +11,12 @@
 namespace bullet {
 namespace {
 
-Topology SmallMesh(int n, uint64_t seed, double loss_max = 0.0) {
+MeshTopology SmallMesh(int n, uint64_t seed, double loss_max = 0.0) {
   Rng rng(seed);
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = n;
   mesh.core_loss_max = loss_max;
-  return Topology::FullMesh(mesh, rng);
+  return MeshTopology::FullMesh(mesh, rng);
 }
 
 // ---------------- StripeForest ----------------
@@ -137,7 +137,7 @@ TEST(SplitStreamSystem, SlowInteriorStarvesOnlyItsStripe) {
   params.seed = 35;
   params.file = SmallFile(true);
   params.deadline = SecToSim(1800.0);
-  Topology topo = SmallMesh(16, 35);
+  MeshTopology topo = SmallMesh(16, 35);
   for (NodeId d = 0; d < 16; ++d) {
     if (d != 1) {
       topo.core(1, d).bandwidth_bps = 50e3;  // node 1 is interior in one stripe only

@@ -21,10 +21,10 @@ struct Swarm {
 Swarm RunSwarm(int nodes, uint32_t blocks, const BulletPrimeConfig& config, double deadline_sec,
                uint64_t seed = 44) {
   Rng topo_rng(seed);
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = nodes;
   mesh.core_loss_max = 0.0;
-  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  MeshTopology topo = MeshTopology::FullMesh(mesh, topo_rng);
   ExperimentParams params;
   params.seed = seed;
   params.file.num_blocks = blocks;
@@ -110,10 +110,10 @@ TEST(BulletPrimeProtocol, NoDuplicateBlocksWithoutChurn) {
 TEST(BulletPrimeProtocol, EncodedModeUsesOverheadRule) {
   BulletPrimeConfig config;
   Rng topo_rng(45);
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = 10;
   mesh.core_loss_max = 0.0;
-  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  MeshTopology topo = MeshTopology::FullMesh(mesh, topo_rng);
   ExperimentParams params;
   params.seed = 45;
   params.file.num_blocks = 100;

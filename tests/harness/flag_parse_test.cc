@@ -1,0 +1,92 @@
+// Edge-case coverage for the strict numeric parsers shared by the CLI and the
+// sweep grammar (flag_parse.h), plus the --sweep axis-value edge cases that
+// ride on them (empty values, duplicate values, whitespace, trailing garbage).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/harness/flag_parse.h"
+#include "src/harness/sweep.h"
+
+namespace bullet {
+namespace {
+
+TEST(FlagParse, StrictInt64RejectsNonCanonicalForms) {
+  int64_t v = 0;
+  for (const char* bad : {"", " 1", "1 ", "+1", "1.5", "1e3", "0x10", "abc", "-", "--2",
+                          "9223372036854775808" /* INT64_MAX + 1 */, "12k"}) {
+    EXPECT_FALSE(ParseStrictInt64(bad, &v)) << "'" << bad << "'";
+  }
+  EXPECT_TRUE(ParseStrictInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseStrictInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseStrictInt64("007", &v));  // leading zeros are still base 10
+  EXPECT_EQ(v, 7);
+}
+
+TEST(FlagParse, StrictUint64RejectsSignsAndOverflow) {
+  uint64_t v = 0;
+  for (const char* bad : {"", "-1", "+1", " 5", "5 ", "1.0", "18446744073709551616"}) {
+    EXPECT_FALSE(ParseStrictUint64(bad, &v)) << "'" << bad << "'";
+  }
+  EXPECT_TRUE(ParseStrictUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(FlagParse, StrictDoubleRejectsNonFiniteAndGarbage) {
+  double v = 0.0;
+  for (const char* bad : {"", " 1.0", "1.0 ", "nan", "inf", "-inf", "1e999", "1..2", "1,5",
+                          "e5", "+2.5"}) {
+    EXPECT_FALSE(ParseStrictDouble(bad, &v)) << "'" << bad << "'";
+  }
+  EXPECT_TRUE(ParseStrictDouble(".5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseStrictDouble("-2.5e-2", &v));
+  EXPECT_DOUBLE_EQ(v, -0.025);
+}
+
+// --- --sweep axis value edge cases (the same parsers underneath) ---
+
+TEST(SweepAxisEdgeCases, EmptyValueListIsRejected) {
+  SweepAxis axis;
+  std::string error;
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=", &axis, &error));
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes", &axis, &error));
+  EXPECT_FALSE(ParseSweepAxisSpec("=5", &axis, &error));
+}
+
+TEST(SweepAxisEdgeCases, EmptyValueAmongOthersIsRejected) {
+  SweepAxis axis;
+  std::string error;
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=5,,7", &axis, &error));
+  EXPECT_NE(error.find("bad value"), std::string::npos) << error;
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=5,7,", &axis, &error));
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=,5", &axis, &error));
+}
+
+TEST(SweepAxisEdgeCases, DuplicateValuesAreRejected) {
+  // A repeated value would run one grid point twice under two point indices
+  // (with distinct derived seeds) — almost always a typo, so it is an error.
+  SweepAxis axis;
+  std::string error;
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=5,5", &axis, &error));
+  EXPECT_NE(error.find("duplicate value"), std::string::npos) << error;
+  EXPECT_FALSE(ParseSweepAxisSpec("file-mb=1.5,2,1.5", &axis, &error));
+  EXPECT_TRUE(ParseSweepAxisSpec("nodes=5,50,500", &axis, &error)) << error;
+  ASSERT_EQ(axis.values.size(), 3u);
+}
+
+TEST(SweepAxisEdgeCases, WhitespaceAndGarbageValuesAreRejected) {
+  SweepAxis axis;
+  std::string error;
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes= 5", &axis, &error));
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=5 ,7", &axis, &error));
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=5;7", &axis, &error));
+  EXPECT_FALSE(ParseSweepAxisSpec("nodes=twenty", &axis, &error));
+}
+
+}  // namespace
+}  // namespace bullet

@@ -21,10 +21,10 @@ struct ChurnRun {
 
 ChurnRun RunWithChurn(int nodes, int kills, uint64_t seed) {
   Rng topo_rng(seed);
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = nodes;
   mesh.core_loss_max = 0.0;
-  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  MeshTopology topo = MeshTopology::FullMesh(mesh, topo_rng);
   ExperimentParams params;
   params.seed = seed;
   params.file.num_blocks = 640;  // 10 MB
@@ -47,7 +47,7 @@ ChurnRun RunWithChurn(int nodes, int kills, uint64_t seed) {
 
 TEST(Churn, FailNodeCutsConnections) {
   Rng rng(3);
-  Topology topo = Topology::ConstrainedAccess(4, rng);
+  MeshTopology topo = MeshTopology::ConstrainedAccess(4, rng);
   Network net(std::move(topo), NetworkConfig{}, 3);
   const ConnId conn = net.Connect(0, 1);
   net.Run(SecToSim(1.0));
@@ -105,7 +105,7 @@ TEST(Churn, FailNodeRacesPendingDeliveries) {
   // in-flight deliveries must be dropped cleanly (no delivery after the
   // failure, exactly one OnConnDown per surviving endpoint, no crash).
   Rng rng(11);
-  Topology topo = Topology::ConstrainedAccess(4, rng);
+  MeshTopology topo = MeshTopology::ConstrainedAccess(4, rng);
   Network net(std::move(topo), NetworkConfig{}, 11);
   DownCounter h0;
   DownCounter h1;
@@ -132,7 +132,7 @@ TEST(Churn, DynamicsOnFailedNodeLinksIsNoOp) {
   // land on a failed node's links must leave them untouched (they carry no
   // flows, and Connect() toward the node is refused forever), while live links
   // keep degrading.
-  Topology topo(4);
+  MeshTopology topo(4);
   for (NodeId n = 0; n < 4; ++n) {
     topo.uplink(n) = LinkParams{6e6, 0, 0.0};
     topo.downlink(n) = LinkParams{6e6, 0, 0.0};
@@ -155,7 +155,7 @@ TEST(Churn, DynamicsOnFailedNodeLinksIsNoOp) {
       if (s == d) {
         continue;
       }
-      const double bw = net.topology().core(s, d).bandwidth_bps;
+      const double bw = net.topology().AsMesh()->core(s, d).bandwidth_bps;
       if (s == 1 || d == 1) {
         EXPECT_NEAR(bw, 2e6, 1.0) << "failed node's link " << s << "->" << d << " was degraded";
       } else {
@@ -170,10 +170,10 @@ TEST(Churn, FailuresUnderBandwidthDynamicsStillComplete) {
   // periodic halving keeps firing (including on the victims' links). Survivors
   // must still finish; nothing may crash.
   Rng topo_rng(21);
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = 16;
   mesh.core_loss_max = 0.0;
-  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  MeshTopology topo = MeshTopology::FullMesh(mesh, topo_rng);
   ExperimentParams params;
   params.seed = 21;
   params.file.num_blocks = 320;  // 5 MB

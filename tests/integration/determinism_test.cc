@@ -9,6 +9,10 @@
 //    identical completion times on a full protocol run.
 //  * The skip-idle-ticks mode must produce the same timeline as the default
 //    mode when wakeups do not collide with other same-time events.
+//  * All of the above hold on the routed transit-stub topology too, where the
+//    script's churn and periodic bandwidth halving land on genuinely shared
+//    interior links (lossy transit tier, so the delivery RNG stream is
+//    exercised along multi-hop routes).
 //
 // Run standalone with `ctest -L invariants`.
 
@@ -107,21 +111,37 @@ class TimelineRecorder : public NetHandler {
   Network* net_;
 };
 
-Topology ScriptTopology() {
+std::unique_ptr<Topology> ScriptTopology() {
   Rng rng(99);
   // Lossy mesh so the delivery-time RNG stream is exercised too.
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = 6;
   mesh.core_loss_min = 0.0;
   mesh.core_loss_max = 0.02;
-  return Topology::FullMesh(mesh, rng);
+  return std::make_unique<MeshTopology>(MeshTopology::FullMesh(mesh, rng));
+}
+
+std::unique_ptr<Topology> RoutedScriptTopology() {
+  Rng rng(98);
+  // Small lossy transit-stub graph: 6 overlay nodes over 12 routers, so the
+  // script's flows cross shared gateway and transit links.
+  RoutedTopology::TransitStubParams params;
+  params.num_nodes = 6;
+  params.transit_domains = 2;
+  params.routers_per_transit = 2;
+  params.stub_domains_per_transit_router = 1;
+  params.routers_per_stub = 2;
+  params.transit_stub_bps = 3e6;  // shared bottleneck below the access rate
+  params.transit_loss_max = 0.02;
+  return std::make_unique<RoutedTopology>(RoutedTopology::TransitStub(params, rng));
 }
 
 // A fixed traffic script: connects, staggered sends (several per quantum,
 // some idle gaps), a mid-run close, a node failure, and periodic correlated
 // bandwidth halving. Returns every handler event of every node, in order.
-std::vector<std::string> RunScript(const NetworkConfig& config) {
-  Network net(ScriptTopology(), config, 4242);
+std::vector<std::string> RunScript(const NetworkConfig& config,
+                                   std::unique_ptr<Topology> topo = ScriptTopology()) {
+  Network net(std::move(topo), config, 4242);
   std::vector<std::unique_ptr<TimelineRecorder>> handlers;
   for (NodeId n = 0; n < 6; ++n) {
     handlers.push_back(std::make_unique<TimelineRecorder>(&net));
@@ -172,6 +192,71 @@ TEST(Determinism, IncrementalMatchesFullRecomputeFlowForFlow) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i], b[i]) << "event " << i;
   }
+}
+
+// --- routed transit-stub goldens ---
+
+ScenarioConfig TransitStubConfig() {
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kTransitStub;
+  cfg.num_nodes = 18;
+  cfg.file_mb = 2.0;
+  cfg.block_bytes = 16 * 1024;
+  cfg.seed = 1702;
+  return cfg;
+}
+
+TEST(Determinism, TransitStubRepeatedRunsSerializeIdentically) {
+  const ScenarioConfig cfg = TransitStubConfig();
+  const std::string first = SerializedRun(cfg);
+  const std::string second = SerializedRun(cfg);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, TransitStubIncrementalMatchesFullRecomputeOnProtocolRun) {
+  ScenarioConfig cfg = TransitStubConfig();
+  cfg.num_nodes = 12;
+
+  cfg.full_recompute_allocator = false;
+  const ScenarioResult incremental = RunScenario(System::kBulletPrime, cfg);
+  cfg.full_recompute_allocator = true;
+  const ScenarioResult full = RunScenario(System::kBulletPrime, cfg);
+
+  ASSERT_EQ(incremental.completion_sec.size(), full.completion_sec.size());
+  for (size_t i = 0; i < incremental.completion_sec.size(); ++i) {
+    EXPECT_EQ(incremental.completion_sec[i], full.completion_sec[i]) << "receiver " << i;
+  }
+  EXPECT_EQ(incremental.completed, full.completed);
+  EXPECT_EQ(incremental.max_shared_link_flows, full.max_shared_link_flows);
+  // The routed net must actually exercise shared links, or this golden is
+  // testing nothing new over the mesh variant above.
+  EXPECT_GE(incremental.max_shared_link_flows, 2);
+}
+
+TEST(Determinism, TransitStubScriptIncrementalMatchesFullFlowForFlow) {
+  // Churn (FailNode), a close, and periodic correlated bandwidth halving on
+  // shared interior links: the incremental and full-recompute cores must agree
+  // on every delivery.
+  NetworkConfig incremental;
+  incremental.allocator_mode = NetworkConfig::AllocatorMode::kIncremental;
+  NetworkConfig full;
+  full.allocator_mode = NetworkConfig::AllocatorMode::kFullRecompute;
+
+  const std::vector<std::string> a = RunScript(incremental, RoutedScriptTopology());
+  const std::vector<std::string> b = RunScript(full, RoutedScriptTopology());
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "event " << i;
+  }
+}
+
+TEST(Determinism, TransitStubScriptRepeatedRunsIdentical) {
+  const std::vector<std::string> a = RunScript(NetworkConfig{}, RoutedScriptTopology());
+  const std::vector<std::string> b = RunScript(NetworkConfig{}, RoutedScriptTopology());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
 }
 
 TEST(Determinism, SkipIdleTicksMatchesDefaultOnCollisionFreeScript) {

@@ -45,10 +45,10 @@ class RanSubFixture : public ::testing::Test {
  protected:
   void Run(int num_nodes, double run_sec, uint64_t seed = 33) {
     Rng topo_rng(seed);
-    Topology::MeshParams mesh;
+    MeshTopology::MeshParams mesh;
     mesh.num_nodes = num_nodes;
     mesh.core_loss_max = 0.0;
-    Topology topo = Topology::FullMesh(mesh, topo_rng);
+    MeshTopology topo = MeshTopology::FullMesh(mesh, topo_rng);
     ExperimentParams params;
     params.seed = seed;
     params.file.num_blocks = 16;

@@ -23,7 +23,7 @@ Fleet RunFleet(int nodes, const RsyncFleetConfig& config, double deadline_sec,
                uint64_t seed = 61) {
   Fleet fleet;
   Rng topo_rng(seed);
-  Topology topo = Topology::WideArea(nodes, topo_rng);
+  MeshTopology topo = MeshTopology::WideArea(nodes, topo_rng);
   fleet.net = std::make_unique<Network>(std::move(topo), NetworkConfig{}, seed);
   fleet.metrics = std::make_unique<RunMetrics>(nodes);
   for (NodeId n = 0; n < nodes; ++n) {

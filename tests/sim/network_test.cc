@@ -51,7 +51,7 @@ class Recorder : public NetHandler {
 
 // Two nodes, symmetric 8 Mbps links with 10 ms one-way delay, lossless.
 Network MakeTwoNodeNet(double bps = 8e6, SimTime delay = MsToSim(10)) {
-  Topology topo(2);
+  MeshTopology topo(2);
   for (NodeId n = 0; n < 2; ++n) {
     topo.uplink(n) = LinkParams{bps, MsToSim(0), 0.0};
     topo.downlink(n) = LinkParams{bps, MsToSim(0), 0.0};
@@ -155,7 +155,7 @@ TEST(Network, InOrderDelivery) {
 }
 
 TEST(Network, LossyPathStillDeliversInOrder) {
-  Topology topo(2);
+  MeshTopology topo(2);
   for (NodeId n = 0; n < 2; ++n) {
     topo.uplink(n) = LinkParams{8e6, MsToSim(0), 0.0};
     topo.downlink(n) = LinkParams{8e6, MsToSim(0), 0.0};
@@ -218,7 +218,7 @@ TEST(Network, SendOnClosedConnectionFails) {
 }
 
 TEST(Network, SendFromNonEndpointFails) {
-  Topology topo(3);
+  MeshTopology topo(3);
   for (NodeId n = 0; n < 3; ++n) {
     topo.uplink(n) = LinkParams{8e6, 0, 0.0};
     topo.downlink(n) = LinkParams{8e6, 0, 0.0};
@@ -272,7 +272,7 @@ TEST(Network, BandwidthChangeTakesEffect) {
   net.Run(SecToSim(1.0));  // warm up past slow start bookkeeping
 
   // Halve the core link before a 2 MB transfer; it should take ~2x the time.
-  net.topology().core(0, 1).bandwidth_bps = 2e6;
+  net.topology().AsMesh()->core(0, 1).bandwidth_bps = 2e6;
   const SimTime start = net.now();
   net.Send(conn, 0, std::make_unique<TestMsg>(7, 2 * 1000 * 1000));
   net.Run(SecToSim(60.0));
@@ -294,7 +294,7 @@ TEST(Network, CloseCompactsWithinOneQuantum) {
   // later tick's compaction pass. With event-driven tick work the pass only
   // runs when needed, so Close() must guarantee compaction on the next quantum
   // boundary — including when the network is otherwise completely idle.
-  Topology topo(4);
+  MeshTopology topo(4);
   for (NodeId n = 0; n < 4; ++n) {
     topo.uplink(n) = LinkParams{8e6, 0, 0.0};
     topo.downlink(n) = LinkParams{8e6, 0, 0.0};
@@ -331,7 +331,7 @@ TEST(Network, CloseCompactsWithinOneQuantum) {
 TEST(Network, CloseCompactsUnderSkipIdleTicks) {
   // Same regression with idle tick events elided entirely: the Close() must
   // wake the ticker so the compaction pass still runs within one quantum.
-  Topology topo(3);
+  MeshTopology topo(3);
   for (NodeId n = 0; n < 3; ++n) {
     topo.uplink(n) = LinkParams{8e6, 0, 0.0};
     topo.downlink(n) = LinkParams{8e6, 0, 0.0};
@@ -377,7 +377,7 @@ TEST(Network, ActiveDirectionAccountingAcrossLifecycle) {
 }
 
 TEST(Dynamics, PeriodicHalvingIsCumulative) {
-  Topology topo(4);
+  MeshTopology topo(4);
   for (NodeId n = 0; n < 4; ++n) {
     topo.uplink(n) = LinkParams{6e6, 0, 0.0};
     topo.downlink(n) = LinkParams{6e6, 0, 0.0};
@@ -395,14 +395,14 @@ TEST(Dynamics, PeriodicHalvingIsCumulative) {
   for (NodeId s = 0; s < 4; ++s) {
     for (NodeId d = 0; d < 4; ++d) {
       if (s != d) {
-        EXPECT_NEAR(net.topology().core(s, d).bandwidth_bps, 2e6 / 8.0, 1.0);
+        EXPECT_NEAR(net.topology().AsMesh()->core(s, d).bandwidth_bps, 2e6 / 8.0, 1.0);
       }
     }
   }
 }
 
 TEST(Dynamics, CascadeIsSequential) {
-  Topology topo(4);
+  MeshTopology topo(4);
   for (NodeId n = 0; n < 4; ++n) {
     topo.uplink(n) = LinkParams{6e6, 0, 0.0};
     topo.downlink(n) = LinkParams{6e6, 0, 0.0};
@@ -413,13 +413,13 @@ TEST(Dynamics, CascadeIsSequential) {
   Network net(std::move(topo), NetworkConfig{}, 5);
   StartCascade(net, /*target=*/3, {0, 1, 2}, SecToSim(1.0), 100e3);
   net.Run(SecToSim(1.5));
-  EXPECT_DOUBLE_EQ(net.topology().core(0, 3).bandwidth_bps, 100e3);
-  EXPECT_DOUBLE_EQ(net.topology().core(1, 3).bandwidth_bps, 5e6);
+  EXPECT_DOUBLE_EQ(net.topology().AsMesh()->core(0, 3).bandwidth_bps, 100e3);
+  EXPECT_DOUBLE_EQ(net.topology().AsMesh()->core(1, 3).bandwidth_bps, 5e6);
   net.Run(SecToSim(3.5));
-  EXPECT_DOUBLE_EQ(net.topology().core(1, 3).bandwidth_bps, 100e3);
-  EXPECT_DOUBLE_EQ(net.topology().core(2, 3).bandwidth_bps, 100e3);
+  EXPECT_DOUBLE_EQ(net.topology().AsMesh()->core(1, 3).bandwidth_bps, 100e3);
+  EXPECT_DOUBLE_EQ(net.topology().AsMesh()->core(2, 3).bandwidth_bps, 100e3);
   // Reverse directions untouched.
-  EXPECT_DOUBLE_EQ(net.topology().core(3, 0).bandwidth_bps, 5e6);
+  EXPECT_DOUBLE_EQ(net.topology().AsMesh()->core(3, 0).bandwidth_bps, 5e6);
 }
 
 }  // namespace

@@ -7,9 +7,9 @@ namespace {
 
 TEST(Topology, FullMeshParameters) {
   Rng rng(1);
-  Topology::MeshParams params;
+  MeshTopology::MeshParams params;
   params.num_nodes = 30;
-  Topology topo = Topology::FullMesh(params, rng);
+  MeshTopology topo = MeshTopology::FullMesh(params, rng);
   EXPECT_EQ(topo.num_nodes(), 30);
   for (NodeId n = 0; n < 30; ++n) {
     EXPECT_DOUBLE_EQ(topo.uplink(n).bandwidth_bps, 6e6);
@@ -34,18 +34,18 @@ TEST(Topology, FullMeshParameters) {
 TEST(Topology, CoreLinksAreAsymmetric) {
   // Direction-specific links: the paper's dynamic scenario halves one direction only.
   Rng rng(2);
-  Topology::MeshParams params;
+  MeshTopology::MeshParams params;
   params.num_nodes = 10;
-  Topology topo = Topology::FullMesh(params, rng);
+  MeshTopology topo = MeshTopology::FullMesh(params, rng);
   topo.core(1, 2).bandwidth_bps = 1e5;
   EXPECT_DOUBLE_EQ(topo.core(2, 1).bandwidth_bps, 2e6);
 }
 
 TEST(Topology, PathDelayAndRtt) {
   Rng rng(3);
-  Topology::MeshParams params;
+  MeshTopology::MeshParams params;
   params.num_nodes = 5;
-  Topology topo = Topology::FullMesh(params, rng);
+  MeshTopology topo = MeshTopology::FullMesh(params, rng);
   const SimTime d12 = topo.PathDelay(1, 2);
   EXPECT_EQ(d12, topo.uplink(1).delay + topo.core(1, 2).delay + topo.downlink(2).delay);
   EXPECT_EQ(topo.Rtt(1, 2), d12 + topo.PathDelay(2, 1));
@@ -54,7 +54,7 @@ TEST(Topology, PathDelayAndRtt) {
 
 TEST(Topology, PathLossComposition) {
   Rng rng(4);
-  Topology topo = Topology::ConstrainedAccess(4, rng);
+  MeshTopology topo = MeshTopology::ConstrainedAccess(4, rng);
   topo.core(0, 1).loss_rate = 0.5;
   topo.uplink(0).loss_rate = 0.5;
   EXPECT_NEAR(topo.PathLoss(0, 1), 0.75, 1e-12);
@@ -63,7 +63,7 @@ TEST(Topology, PathLossComposition) {
 
 TEST(Topology, ConstrainedAccess) {
   Rng rng(5);
-  Topology topo = Topology::ConstrainedAccess(20, rng);
+  MeshTopology topo = MeshTopology::ConstrainedAccess(20, rng);
   for (NodeId n = 0; n < 20; ++n) {
     EXPECT_DOUBLE_EQ(topo.uplink(n).bandwidth_bps, 800e3);
   }
@@ -73,7 +73,7 @@ TEST(Topology, ConstrainedAccess) {
 
 TEST(Topology, Uniform) {
   Rng rng(6);
-  Topology topo = Topology::Uniform(25, 10e6, MsToSim(100), 0.0, 0.0, rng);
+  MeshTopology topo = MeshTopology::Uniform(25, 10e6, MsToSim(100), 0.0, 0.0, rng);
   EXPECT_DOUBLE_EQ(topo.core(1, 2).bandwidth_bps, 10e6);
   EXPECT_EQ(topo.core(1, 2).delay, MsToSim(100));
   // Access links ample so the uniform links constrain.
@@ -82,7 +82,7 @@ TEST(Topology, Uniform) {
 
 TEST(Topology, WideAreaHeterogeneous) {
   Rng rng(7);
-  Topology topo = Topology::WideArea(41, rng);
+  MeshTopology topo = MeshTopology::WideArea(41, rng);
   double min_up = 1e18;
   double max_up = 0;
   for (NodeId n = 0; n < 41; ++n) {
@@ -98,10 +98,10 @@ TEST(Topology, WideAreaHeterogeneous) {
 TEST(Topology, DeterministicGivenSeed) {
   Rng rng1(42);
   Rng rng2(42);
-  Topology::MeshParams params;
+  MeshTopology::MeshParams params;
   params.num_nodes = 12;
-  Topology a = Topology::FullMesh(params, rng1);
-  Topology b = Topology::FullMesh(params, rng2);
+  MeshTopology a = MeshTopology::FullMesh(params, rng1);
+  MeshTopology b = MeshTopology::FullMesh(params, rng2);
   for (NodeId s = 0; s < 12; ++s) {
     for (NodeId d = 0; d < 12; ++d) {
       if (s != d) {

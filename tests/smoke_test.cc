@@ -11,10 +11,10 @@ namespace {
 
 TEST(Smoke, BulletPrimeSmallMeshCompletes) {
   Rng topo_rng(42);
-  Topology::MeshParams mesh;
+  MeshTopology::MeshParams mesh;
   mesh.num_nodes = 20;
   mesh.core_loss_max = 0.0;  // lossless for the smoke test
-  Topology topo = Topology::FullMesh(mesh, topo_rng);
+  MeshTopology topo = MeshTopology::FullMesh(mesh, topo_rng);
 
   ExperimentParams params;
   params.seed = 7;
