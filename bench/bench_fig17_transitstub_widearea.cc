@@ -17,25 +17,11 @@
 #include <memory>
 #include <string>
 
+#include "bench/session_common.h"
 #include "src/harness/scenario_registry.h"
 
 namespace bullet {
 namespace {
-
-RoutedTopology::TransitStubParams ScaledTransitStub(int nodes) {
-  RoutedTopology::TransitStubParams p;
-  p.num_nodes = nodes;
-  p.transit_domains = 2;
-  p.routers_per_transit = 2;
-  p.routers_per_stub = 4;
-  // Keep ~8 overlay nodes per stub domain so the router graph grows with the
-  // overlay instead of the overlay piling into a fixed set of stubs.
-  const int transit_routers = p.transit_domains * p.routers_per_transit;
-  p.stub_domains_per_transit_router =
-      std::max(2, nodes / (transit_routers * 8));
-  p.transit_stub_bps = 30e6;  // shared gateway tier: ~8 nodes x 6 Mbps compete
-  return p;
-}
 
 BULLET_SCENARIO(fig17_transitstub_widearea,
                 "Extension — routed transit-stub wide-area dissemination") {

@@ -1,0 +1,52 @@
+// Shared helpers for the transit-stub and session/workload scenarios
+// (fig17-fig20): the scaled transit-stub shape and interleaved member splits
+// for concurrent sessions.
+
+#ifndef BENCH_SESSION_COMMON_H_
+#define BENCH_SESSION_COMMON_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/harness/scenario_registry.h"
+
+namespace bullet {
+
+inline RoutedTopology::TransitStubParams ScaledTransitStub(int nodes) {
+  RoutedTopology::TransitStubParams p;
+  p.num_nodes = nodes;
+  p.transit_domains = 2;
+  p.routers_per_transit = 2;
+  p.routers_per_stub = 4;
+  // Keep ~8 overlay nodes per stub domain so the router graph grows with the
+  // overlay instead of the overlay piling into a fixed set of stubs.
+  const int transit_routers = p.transit_domains * p.routers_per_transit;
+  p.stub_domains_per_transit_router =
+      std::max(2, nodes / (transit_routers * 8));
+  p.transit_stub_bps = 30e6;  // shared gateway tier: ~8 nodes x 6 Mbps compete
+  return p;
+}
+
+// Interleaved member split for two concurrent sessions: even ids (including
+// node 0) vs odd ids (including node 1). Interleaving spreads both sessions
+// across every stub domain, so their traffic meets on the same gateway and
+// transit links instead of partitioning into disjoint regions.
+inline std::vector<NodeId> EvenMembers(int num_nodes) {
+  std::vector<NodeId> m;
+  for (NodeId n = 0; n < num_nodes; n += 2) {
+    m.push_back(n);
+  }
+  return m;
+}
+
+inline std::vector<NodeId> OddMembers(int num_nodes) {
+  std::vector<NodeId> m;
+  for (NodeId n = 1; n < num_nodes; n += 2) {
+    m.push_back(n);
+  }
+  return m;
+}
+
+}  // namespace bullet
+
+#endif  // BENCH_SESSION_COMMON_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/overlay/protocol_registry.h"
+
 namespace bullet {
 
 BitTorrent::BitTorrent(const Context& ctx, const FileParams& file, NodeId source,
@@ -471,6 +473,31 @@ int BitTorrent::num_unchoked() const {
     }
   }
   return n;
+}
+
+}  // namespace bullet
+
+namespace bullet {
+
+void RegisterBitTorrentProtocol() {
+  ProtocolRegistry::Entry entry;
+  entry.key = "bittorrent";
+  entry.display_name = "BitTorrent";
+  entry.description = "BitTorrent baseline: tracker peer lists, rarest-first pieces, "
+                      "tit-for-tat choking";
+  entry.encoded_stream = false;
+  entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
+    BitTorrentConfig config;
+    if (const auto* c = std::any_cast<BitTorrentConfig>(&env.spec->protocol_config)) {
+      config = *c;
+    }
+    const FileParams file = env.spec->file;
+    const NodeId source = env.spec->source;
+    return [config, file, source](const Protocol::Context& ctx) {
+      return std::unique_ptr<Protocol>(new BitTorrent(ctx, file, source, config));
+    };
+  };
+  ProtocolRegistry::Global().Register(std::move(entry));
 }
 
 }  // namespace bullet

@@ -172,6 +172,9 @@ class BitTorrent : public DisseminationProtocol {
   bool have_first_piece_ = false;
 };
 
+// Registers "bittorrent" in ProtocolRegistry::Global(). Idempotent.
+void RegisterBitTorrentProtocol();
+
 }  // namespace bullet
 
 #endif  // SRC_BASELINES_BITTORRENT_H_

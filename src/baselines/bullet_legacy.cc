@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/overlay/protocol_registry.h"
+
 namespace bullet {
 
 BulletLegacy::BulletLegacy(const Context& ctx, const FileParams& file, NodeId source,
@@ -340,6 +342,32 @@ void BulletLegacy::OnProtocolMessage(ConnId conn, NodeId from, std::unique_ptr<M
     default:
       return;
   }
+}
+
+}  // namespace bullet
+
+namespace bullet {
+
+void RegisterBulletLegacyProtocol() {
+  ProtocolRegistry::Entry entry;
+  entry.key = "bullet";
+  entry.display_name = "Bullet";
+  entry.description = "The released Bullet (INFOCOM'03 design): fixed peer sets and "
+                      "per-peer windows over a source-encoded stream";
+  entry.encoded_stream = true;
+  entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
+    BulletLegacyConfig config;
+    if (const auto* c = std::any_cast<BulletLegacyConfig>(&env.spec->protocol_config)) {
+      config = *c;
+    }
+    const FileParams file = env.spec->file;
+    const NodeId source = env.spec->source;
+    const ControlTree* tree = env.tree;
+    return [config, file, source, tree](const Protocol::Context& ctx) {
+      return std::unique_ptr<Protocol>(new BulletLegacy(ctx, file, source, tree, config));
+    };
+  };
+  ProtocolRegistry::Global().Register(std::move(entry));
 }
 
 }  // namespace bullet

@@ -88,6 +88,10 @@ class BulletLegacy : public TreeOverlayProtocol {
   size_t next_forward_child_ = 0;
 };
 
+// Registers "bullet" (the released Bullet) in ProtocolRegistry::Global().
+// Idempotent.
+void RegisterBulletLegacyProtocol();
+
 }  // namespace bullet
 
 #endif  // SRC_BASELINES_BULLET_LEGACY_H_

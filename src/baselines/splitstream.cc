@@ -1,5 +1,8 @@
 #include "src/baselines/splitstream.h"
 
+#include "src/common/logging.h"
+#include "src/overlay/protocol_registry.h"
+
 namespace bullet {
 
 SplitStream::SplitStream(const Context& ctx, const FileParams& file, NodeId source,
@@ -145,6 +148,40 @@ void SplitStream::DrainPending() {
       DrainPending();
     });
   }
+}
+
+}  // namespace bullet
+
+namespace bullet {
+
+void RegisterSplitStreamProtocol() {
+  ProtocolRegistry::Entry entry;
+  entry.key = "splitstream";
+  entry.display_name = "SplitStream";
+  entry.description = "SplitStream baseline: k interior-node-disjoint stripe trees over "
+                      "a source-encoded stream";
+  entry.encoded_stream = true;
+  entry.requires_full_span = true;
+  entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
+    SplitStreamConfig config;
+    if (const auto* c = std::any_cast<SplitStreamConfig>(&env.spec->protocol_config)) {
+      config = *c;
+    }
+    // The stripe forest is interior-disjoint over the *whole* node-id space
+    // (node v is interior only in stripe v mod k); a session over a subset
+    // would route stripes through nodes that never instantiate a protocol.
+    BULLET_CHECK(static_cast<int>(env.spec->members.size()) == env.num_nodes &&
+                 "splitstream sessions must span every node in the network");
+    Rng forest_rng(env.seed ^ 0x517cc1b727220a95ULL);
+    auto forest = std::make_shared<StripeForest>(
+        StripeForest::Build(env.num_nodes, config.num_stripes, env.spec->source, forest_rng));
+    const FileParams file = env.spec->file;
+    const NodeId source = env.spec->source;
+    return [config, file, source, forest](const Protocol::Context& ctx) {
+      return std::unique_ptr<Protocol>(new SplitStream(ctx, file, source, forest.get(), config));
+    };
+  };
+  ProtocolRegistry::Global().Register(std::move(entry));
 }
 
 }  // namespace bullet

@@ -81,6 +81,10 @@ class SplitStream : public DisseminationProtocol {
   uint32_t next_push_block_ = 0;
 };
 
+// Registers "splitstream" in ProtocolRegistry::Global(). Idempotent. The
+// stripe forest spans every node, so splitstream sessions must too.
+void RegisterSplitStreamProtocol();
+
 }  // namespace bullet
 
 #endif  // SRC_BASELINES_SPLITSTREAM_H_

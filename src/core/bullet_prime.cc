@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/overlay/protocol_registry.h"
 
 namespace bullet {
 
@@ -683,5 +684,37 @@ void BulletPrime::OnFileComplete() {
 }
 
 double BulletPrime::TotalIncomingBps() const { return incoming_total_Bps_.value() * 8.0; }
+
+namespace {
+
+// Pulls the session's BulletPrimeConfig out of the spec, defaulting when the
+// caller supplied none (or a different protocol's config type).
+BulletPrimeConfig ResolveBulletPrimeConfig(const SessionSpec& spec) {
+  if (const auto* config = std::any_cast<BulletPrimeConfig>(&spec.protocol_config)) {
+    return *config;
+  }
+  return BulletPrimeConfig{};
+}
+
+}  // namespace
+
+void RegisterBulletPrimeProtocol() {
+  ProtocolRegistry::Entry entry;
+  entry.key = "bullet-prime";
+  entry.display_name = "BulletPrime";
+  entry.description = "Bullet' (Section 3): adaptive mesh over RanSub with the paper's "
+                      "peer-set and outstanding-request controllers";
+  entry.encoded_stream = false;
+  entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
+    const BulletPrimeConfig config = ResolveBulletPrimeConfig(*env.spec);
+    const FileParams file = env.spec->file;
+    const NodeId source = env.spec->source;
+    const ControlTree* tree = env.tree;
+    return [config, file, source, tree](const Protocol::Context& ctx) {
+      return std::unique_ptr<Protocol>(new BulletPrime(ctx, file, source, tree, config));
+    };
+  };
+  ProtocolRegistry::Global().Register(std::move(entry));
+}
 
 }  // namespace bullet

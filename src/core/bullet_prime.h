@@ -136,6 +136,10 @@ class BulletPrime : public TreeOverlayProtocol {
   Ewma incoming_total_Bps_{0.3};
 };
 
+// Registers "bullet-prime" in ProtocolRegistry::Global(). Idempotent; the
+// workload harness calls it once (EnsureBuiltinProtocolsRegistered).
+void RegisterBulletPrimeProtocol();
+
 }  // namespace bullet
 
 #endif  // SRC_CORE_BULLET_PRIME_H_

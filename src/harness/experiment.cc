@@ -4,37 +4,31 @@ namespace bullet {
 
 Experiment::Experiment(std::unique_ptr<Topology> topology, const ExperimentParams& params)
     : params_(params) {
-  NetworkConfig net_config;
-  net_config.quantum = params.quantum;
-  net_config.allocator_mode = params.full_recompute_allocator
-                                  ? NetworkConfig::AllocatorMode::kFullRecompute
-                                  : NetworkConfig::AllocatorMode::kIncremental;
-  net_config.skip_idle_ticks = params.skip_idle_ticks;
-  net_ = std::make_unique<Network>(std::move(topology), net_config, params.seed ^ 0x9e3779b9ULL);
-  Rng tree_rng(params.seed ^ 0x7f4a7c15ULL);
-  tree_ = ControlTree::Random(net_->num_nodes(), params.tree_fanout, tree_rng);
-  metrics_ = std::make_unique<RunMetrics>(net_->num_nodes());
-  metrics_->record_arrivals = params.record_arrivals;
+  WorkloadParams wl_params;
+  wl_params.seed = params.seed;
+  wl_params.quantum = params.quantum;
+  wl_params.deadline = params.deadline;
+  wl_params.record_arrivals = params.record_arrivals;
+  wl_params.full_recompute_allocator = params.full_recompute_allocator;
+  wl_params.skip_idle_ticks = params.skip_idle_ticks;
+  workload_ = std::make_unique<WorkloadExperiment>(std::move(topology), wl_params);
+
+  SessionSpec session;
+  session.file = params.file;
+  session.source = params.source;
+  session.seed = params.seed;
+  session.tree_fanout = params.tree_fanout;
+  // Factory installed in Run(); the session (tree, metrics) exists from
+  // construction so tests can inspect them before the run.
+  workload_->AddSession(session, nullptr);
 }
 
 RunMetrics Experiment::Run(const ProtocolFactory& factory) {
-  const int n = net_->num_nodes();
-  protocols_.clear();
-  protocols_.reserve(static_cast<size_t>(n));
-  for (NodeId node = 0; node < n; ++node) {
-    Protocol::Context ctx;
-    ctx.self = node;
-    ctx.net = net_.get();
-    ctx.metrics = metrics_.get();
-    ctx.seed = params_.seed * 0x100000001b3ULL + static_cast<uint64_t>(node) + 1;
-    protocols_.push_back(factory(ctx, &tree_));
-    net_->SetHandler(node, protocols_.back().get());
-  }
-  for (auto& p : protocols_) {
-    p->Start();
-  }
-  net_->Run(params_.deadline);
-  return *metrics_;
+  const ControlTree* tree = &workload_->session_tree(0);
+  workload_->SetSessionFactory(
+      0, [&factory, tree](const Protocol::Context& ctx) { return factory(ctx, tree); });
+  workload_->Run();
+  return workload_->session_metrics(0);
 }
 
 }  // namespace bullet

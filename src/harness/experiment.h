@@ -1,6 +1,12 @@
-// Experiment harness: wires a topology, a control tree, a network and one protocol
-// instance per node, runs to completion (or deadline), and returns the run metrics.
-// All benches, examples and integration tests go through this class.
+// Single-session experiment harness — the legacy entry point, kept as a thin
+// wrapper over the session/workload API (workload.h): one session spanning
+// every node, all joining at t=0, driven by a caller-supplied protocol factory.
+// Runs through WorkloadExperiment's time-zero join path, which executes the
+// historical create-all-then-start-all loop before the event loop begins, so
+// all pre-existing runs are byte-identical to the pre-workload harness.
+//
+// New code that needs staggered joins, member subsets, concurrent sessions or
+// registry-named protocols should use WorkloadExperiment directly.
 
 #ifndef SRC_HARNESS_EXPERIMENT_H_
 #define SRC_HARNESS_EXPERIMENT_H_
@@ -11,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/harness/workload.h"
 #include "src/overlay/control_tree.h"
 #include "src/overlay/dissemination.h"
 #include "src/overlay/protocol.h"
@@ -51,24 +58,22 @@ class Experiment {
   Experiment(TopologyType topology, const ExperimentParams& params)
       : Experiment(std::make_unique<std::decay_t<TopologyType>>(std::move(topology)), params) {}
 
-  Network& net() { return *net_; }
-  const ControlTree& tree() const { return tree_; }
-  RunMetrics& metrics() { return *metrics_; }
+  Network& net() { return workload_->net(); }
+  const ControlTree& tree() const { return workload_->session_tree(0); }
+  RunMetrics& metrics() { return workload_->session_metrics(0); }
   const ExperimentParams& params() const { return params_; }
+  WorkloadExperiment& workload() { return *workload_; }
 
   // Instantiates one protocol per node via `factory`, starts them all, runs until
   // every receiver completes or the deadline passes, and returns the metrics.
   RunMetrics Run(const ProtocolFactory& factory);
 
   // Access to a protocol instance after/during a run (for tests).
-  Protocol* protocol(NodeId n) { return protocols_[static_cast<size_t>(n)].get(); }
+  Protocol* protocol(NodeId n) { return workload_->session_protocol(0, n); }
 
  private:
   ExperimentParams params_;
-  std::unique_ptr<Network> net_;
-  ControlTree tree_;
-  std::unique_ptr<RunMetrics> metrics_;
-  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::unique_ptr<WorkloadExperiment> workload_;
 };
 
 }  // namespace bullet

@@ -235,6 +235,49 @@ class Parser {
     }
   }
 
+  // Reads 4 hex digits at pos_ (the body of a \uXXXX escape) into *code.
+  bool ParseHex4(unsigned int* code) {
+    if (pos_ + 4 > text_.size()) {
+      return Fail("truncated \\u escape");
+    }
+    unsigned int v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char h = text_[pos_ + static_cast<size_t>(k)];
+      v <<= 4;
+      if (h >= '0' && h <= '9') {
+        v |= static_cast<unsigned int>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        v |= static_cast<unsigned int>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        v |= static_cast<unsigned int>(h - 'A' + 10);
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *code = v;
+    return true;
+  }
+
+  // UTF-8-encodes a code point (surrogates already combined by the caller).
+  static void AppendUtf8(std::string* s, unsigned int cp) {
+    if (cp < 0x80) {
+      *s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *s += static_cast<char>(0xC0 | (cp >> 6));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *s += static_cast<char>(0xE0 | (cp >> 12));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *s += static_cast<char>(0xF0 | (cp >> 18));
+      *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
   bool ParseString(std::string* out) {
     ++pos_;  // opening quote
     std::string s;
@@ -284,26 +327,30 @@ class Parser {
           s += '\t';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return Fail("truncated \\u escape");
-          }
           unsigned int code = 0;
-          for (int k = 0; k < 4; ++k) {
-            const char h = text_[pos_ + static_cast<size_t>(k)];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned int>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned int>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned int>(h - 'A' + 10);
-            } else {
-              return Fail("bad hex digit in \\u escape");
-            }
+          if (!ParseHex4(&code)) {
+            return false;
           }
-          pos_ += 4;
-          // Metric files are ASCII; anything wider truncates to a byte.
-          s += static_cast<char>(code & 0xFF);
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: JSON encodes astral code points as a \uXXXX
+            // surrogate pair; the low half must follow immediately.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return Fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            unsigned int low = 0;
+            if (!ParseHex4(&low)) {
+              return false;
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          AppendUtf8(&s, code);
           break;
         }
         default:

@@ -1,9 +1,9 @@
 // Minimal JSON parser for the bench tooling (bench_check reads BENCH_*.json files
-// back). Full JSON grammar minus \uXXXX surrogate pairs (escapes decode to the
-// raw code point truncated to a byte, which is enough for the ASCII metric names
-// the writers emit). Numbers parse as double, matching the writer. Containers
-// may nest at most 256 deep (hostile inputs fail cleanly instead of exhausting
-// the stack); duplicate object keys keep the first occurrence.
+// back). Full JSON grammar: \uXXXX escapes decode to UTF-8, including surrogate
+// pairs for astral code points (lone or mismatched surrogates are errors).
+// Numbers parse as double, matching the writer. Containers may nest at most
+// 256 deep (hostile inputs fail cleanly instead of exhausting the stack);
+// duplicate object keys keep the first occurrence.
 
 #ifndef SRC_HARNESS_JSON_READER_H_
 #define SRC_HARNESS_JSON_READER_H_

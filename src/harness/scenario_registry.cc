@@ -31,6 +31,13 @@ void ApplyScenarioOptions(const ScenarioOptions& opts, ScenarioConfig* cfg) {
     // reaching this point keeps the scenario's registered topology.
     ParseTopologyName(*opts.topology, &cfg->topo);
   }
+  if (opts.system) {
+    // Also CLI-validated (against ProtocolRegistry::Global()).
+    cfg->system = *opts.system;
+  }
+  if (opts.join_fraction) {
+    cfg->join_fraction = *opts.join_fraction;
+  }
 }
 
 void ScenarioReport::AddCompletion(const ScenarioResult& result) {

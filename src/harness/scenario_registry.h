@@ -33,6 +33,14 @@ struct ScenarioOptions {
   // Fixed-topology scenarios (fig12, fig15, fig16, fig17) ignore it like any
   // other override that does not apply.
   std::optional<std::string> topology;
+  // Protocol selector — a ProtocolRegistry key ("bullet-prime", "bullet",
+  // "bittorrent", "splitstream"). The CLI validates it against the registry;
+  // scenarios with a fixed system roster (the multi-system comparison
+  // figures) ignore it like any other override that does not apply.
+  std::optional<std::string> system;
+  // Fraction of receivers that join late in staggered-join scenarios
+  // (fig18_flash_crowd); ignored by everyone-at-t0 scenarios.
+  std::optional<double> join_fraction;
 };
 
 // Applies the generic overrides onto a scenario's default config.

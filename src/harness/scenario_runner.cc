@@ -14,6 +14,8 @@
 #include "src/harness/flag_parse.h"
 #include "src/harness/json_writer.h"
 #include "src/harness/sweep.h"
+#include "src/harness/workload.h"
+#include "src/overlay/protocol_registry.h"
 
 namespace bullet {
 namespace {
@@ -127,6 +129,30 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
         return args;
       }
       args.options.topology = text;
+    } else if (MatchesFlag(arg, "--system")) {
+      std::string text;
+      EnsureBuiltinProtocolsRegistered();
+      if (!ConsumeString(argc, argv, &i, arg, "--system", &text) ||
+          ProtocolRegistry::Global().Find(text) == nullptr) {
+        args.ok = false;
+        std::string known;
+        for (const ProtocolRegistry::Entry* entry : ProtocolRegistry::Global().List()) {
+          known += known.empty() ? entry->key : ", " + entry->key;
+        }
+        args.error = "--system requires a registered protocol (" + known + ")";
+        return args;
+      }
+      args.options.system = text;
+    } else if (MatchesFlag(arg, "--join-fraction")) {
+      std::string text;
+      double v = 0.0;
+      if (!ConsumeString(argc, argv, &i, arg, "--join-fraction", &text) ||
+          !ParseStrictDouble(text, &v) || v < 0.0 || v > 1.0) {
+        args.ok = false;
+        args.error = "--join-fraction requires a number in [0, 1]";
+        return args;
+      }
+      args.options.join_fraction = v;
     } else if (MatchesFlag(arg, "--loss")) {
       std::string text;
       double v = 0.0;
@@ -232,6 +258,12 @@ void WriteReportJson(std::ostream& os, const ScenarioReport& report,
   if (options.topology) {
     json.Field("topology", *options.topology);
   }
+  if (options.system) {
+    json.Field("system", *options.system);
+  }
+  if (options.join_fraction) {
+    json.Field("join_fraction", *options.join_fraction);
+  }
   json.EndObject();
 
   json.Key("scalars").BeginObject();
@@ -293,6 +325,10 @@ void PrintRunnerUsage(std::ostream& os) {
         "  --loss L           per-link loss rates become uniform in [0, L]\n"
         "  --topology T       mesh | transit-stub (routed sparse graph with shared\n"
         "                     interior links; fixed-topology scenarios ignore it)\n"
+        "  --system S         protocol registry key (bullet-prime, bullet, bittorrent,\n"
+        "                     splitstream); fixed-roster comparison scenarios ignore it\n"
+        "  --join-fraction F  fraction of receivers joining late in staggered-join\n"
+        "                     scenarios (fig18_flash_crowd); others ignore it\n"
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
@@ -300,7 +336,8 @@ void PrintRunnerUsage(std::ostream& os) {
         "sweep mode (runs scenario × cartesian grid × repeats on a worker pool;\n"
         "aggregate JSON is byte-identical for a given spec regardless of --jobs):\n"
         "  --sweep key=v1,..  one grid axis (nodes, file-mb, block-bytes,\n"
-        "                     deadline-sec, loss); repeat the flag for more axes\n"
+        "                     deadline-sec, loss, join-fraction); repeat the flag\n"
+        "                     for more axes\n"
         "  --sweep-file PATH  spec file (scenario/name/repeats/seed/set/sweep lines);\n"
         "                     command-line flags override file directives\n"
         "  --repeats R        runs per grid point (default 1)\n"
@@ -369,6 +406,12 @@ bool BuildSweepSpec(const RunnerArgs& args, SweepSpec* spec, std::string* error)
   }
   if (o.topology) {
     spec->base.topology = o.topology;
+  }
+  if (o.system) {
+    spec->base.system = o.system;
+  }
+  if (o.join_fraction) {
+    spec->base.join_fraction = o.join_fraction;
   }
   if (o.seed) {
     spec->base_seed = *o.seed;

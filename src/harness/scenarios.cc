@@ -1,11 +1,7 @@
 #include "src/harness/scenarios.h"
 
 #include <memory>
-
-#include "src/baselines/bittorrent.h"
-#include "src/baselines/bullet_legacy.h"
-#include "src/baselines/splitstream.h"
-#include "src/core/bullet_prime.h"
+#include <utility>
 
 namespace bullet {
 
@@ -21,6 +17,36 @@ const char* SystemName(System system) {
       return "SplitStream";
   }
   return "?";
+}
+
+const char* ProtocolKeyForSystem(System system) {
+  switch (system) {
+    case System::kBulletPrime:
+      return "bullet-prime";
+    case System::kBulletLegacy:
+      return "bullet";
+    case System::kBitTorrent:
+      return "bittorrent";
+    case System::kSplitStream:
+      return "splitstream";
+  }
+  return "?";
+}
+
+std::string ScenarioSystemOr(const ScenarioConfig& cfg, const std::string& fallback) {
+  return cfg.system.empty() ? fallback : cfg.system;
+}
+
+std::string ScenarioSubsetSystemOr(const ScenarioConfig& cfg, const std::string& fallback) {
+  if (cfg.system.empty()) {
+    return fallback;
+  }
+  EnsureBuiltinProtocolsRegistered();
+  const ProtocolRegistry::Entry* entry = ProtocolRegistry::Global().Find(cfg.system);
+  if (entry == nullptr || entry->requires_full_span) {
+    return fallback;
+  }
+  return cfg.system;
 }
 
 std::unique_ptr<Topology> BuildScenarioTopology(const ScenarioConfig& cfg) {
@@ -65,63 +91,65 @@ bool ParseTopologyName(const std::string& name, ScenarioConfig::Topo* topo) {
   return false;
 }
 
-ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const BulletPrimeConfig& bp) {
-  ExperimentParams params;
+WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec& workload) {
+  EnsureBuiltinProtocolsRegistered();
+  WorkloadParams params;
   params.seed = cfg.seed;
-  params.file.block_bytes = cfg.block_bytes;
-  params.file.num_blocks =
-      static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.block_bytes));
   params.deadline = cfg.deadline;
   params.record_arrivals = cfg.record_arrivals;
   params.full_recompute_allocator = cfg.full_recompute_allocator;
   params.skip_idle_ticks = cfg.skip_idle_ticks;
   params.quantum = cfg.quantum;
 
-  // Per Section 4.2: Bullet and SplitStream run over a source-encoded stream; their
-  // downloads complete at (1 + 4%) n distinct blocks.
-  const bool encoded = cfg.force_encoded || system == System::kBulletLegacy ||
-                       system == System::kSplitStream;
-  params.file.encoded = encoded;
-
-  Experiment exp(BuildScenarioTopology(cfg), params);
+  WorkloadExperiment exp(BuildScenarioTopology(cfg), params);
   if (cfg.dynamic_bw) {
     StartPeriodicBandwidthChanges(exp.net(), BandwidthDynamicsParams{});
   }
-
-  std::shared_ptr<StripeForest> forest;
-  if (system == System::kSplitStream) {
-    SplitStreamConfig ss_config;
-    Rng forest_rng(cfg.seed ^ 0x517cc1b727220a95ULL);
-    forest = std::make_shared<StripeForest>(
-        StripeForest::Build(cfg.num_nodes, ss_config.num_stripes, params.source, forest_rng));
-  }
-
-  RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree)
-                                   -> std::unique_ptr<Protocol> {
-    switch (system) {
-      case System::kBulletPrime:
-        return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree, bp);
-      case System::kBulletLegacy:
-        return std::make_unique<BulletLegacy>(ctx, params.file, params.source, tree,
-                                              BulletLegacyConfig{});
-      case System::kBitTorrent:
-        return std::make_unique<BitTorrent>(ctx, params.file, params.source, BitTorrentConfig{});
-      case System::kSplitStream:
-        return std::make_unique<SplitStream>(ctx, params.file, params.source, forest.get(),
-                                             SplitStreamConfig{});
+  for (SessionSpec session : workload.sessions) {
+    if (session.file.num_blocks == 0) {
+      // Inherit the scenario's file sizing (the legacy single-session rule).
+      session.file.block_bytes = cfg.block_bytes;
+      session.file.num_blocks = static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 /
+                                                      static_cast<double>(cfg.block_bytes));
     }
-    return nullptr;
-  });
+    if (cfg.force_encoded) {
+      session.file.encoded = true;
+    }
+    exp.AddSession(session);
+  }
+  return exp.Run();
+}
 
+ScenarioResult ToScenarioResult(const SessionResult& session, int32_t max_shared_link_flows) {
   ScenarioResult result;
-  result.name = SystemName(system);
-  result.completion_sec = metrics.CompletionSeconds(params.source, SimToSec(cfg.deadline));
-  result.duplicate_fraction = metrics.DuplicateFraction();
-  result.control_overhead = metrics.ControlOverheadFraction();
-  result.completed = metrics.completed();
-  result.receivers = cfg.num_nodes - 1;
-  result.max_shared_link_flows = exp.net().max_interior_link_flows();
+  result.name = session.name;
+  result.completion_sec = session.completion_sec;
+  result.download_sec = session.download_sec;
+  result.duplicate_fraction = session.duplicate_fraction;
+  result.control_overhead = session.control_overhead;
+  result.completed = session.completed;
+  result.receivers = session.receivers;
+  result.max_shared_link_flows = max_shared_link_flows;
   return result;
+}
+
+ScenarioResult RunScenario(const std::string& protocol, const ScenarioConfig& cfg,
+                           const BulletPrimeConfig& bp) {
+  WorkloadSpec workload;
+  SessionSpec session;
+  session.protocol = protocol;
+  session.source = 0;
+  session.seed = cfg.seed;
+  // Applies when the protocol resolves to Bullet'; other factories fall back
+  // to their own defaults, matching the historical enum dispatch.
+  session.protocol_config = bp;
+  workload.sessions.push_back(std::move(session));
+  const WorkloadResult r = RunScenarioWorkload(cfg, workload);
+  return ToScenarioResult(r.sessions.front(), r.max_shared_link_flows);
+}
+
+ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const BulletPrimeConfig& bp) {
+  return RunScenario(ProtocolKeyForSystem(system), cfg, bp);
 }
 
 double OptimalAccessLinkSeconds(double file_mb, double access_bps) {

@@ -11,10 +11,16 @@
 
 #include "src/core/config.h"
 #include "src/harness/experiment.h"
+#include "src/harness/workload.h"
 #include "src/sim/dynamics.h"
 
 namespace bullet {
 
+// Legacy closed enumeration of the four built-in systems. Kept as a
+// convenience shim over the string-keyed ProtocolRegistry (protocol_registry.h)
+// — RunScenario(System, ...) forwards to RunScenario(key, ...) via
+// ProtocolKeyForSystem. New code (and anything configurable from the CLI's
+// --system flag) should use registry keys directly.
 enum class System {
   kBulletPrime,
   kBulletLegacy,
@@ -23,6 +29,9 @@ enum class System {
 };
 
 const char* SystemName(System system);
+// The ProtocolRegistry key for an enum value ("bullet-prime", "bullet",
+// "bittorrent", "splitstream").
+const char* ProtocolKeyForSystem(System system);
 
 struct ScenarioConfig {
   enum class Topo {
@@ -62,11 +71,21 @@ struct ScenarioConfig {
   // Force encoded-stream methodology regardless of system (Bullet and SplitStream are
   // always treated as encoded with 4% overhead, per Section 4.2).
   bool force_encoded = false;
+  // Protocol-registry key requested via --system. Empty keeps the scenario's
+  // own choice; like --topology, scenarios with a fixed system roster (the
+  // multi-system comparison figures) ignore it.
+  std::string system;
+  // Fraction of receivers joining late in staggered-join scenarios; < 0 keeps
+  // the scenario's default.
+  double join_fraction = -1.0;
 };
 
 struct ScenarioResult {
   std::string name;
   std::vector<double> completion_sec;  // per receiver; incomplete nodes at deadline
+  // Completion relative to each receiver's own join time (== completion_sec
+  // for the legacy everyone-at-t0 shape); what a late joiner experiences.
+  std::vector<double> download_sec;
   double duplicate_fraction = 0.0;
   double control_overhead = 0.0;
   int completed = 0;
@@ -83,9 +102,34 @@ std::unique_ptr<Topology> BuildScenarioTopology(const ScenarioConfig& cfg);
 // returns false on anything else.
 bool ParseTopologyName(const std::string& name, ScenarioConfig::Topo* topo);
 
-// Runs one system through the scenario. `bp` applies when system == kBulletPrime.
+// Runs one system through the scenario as a single all-nodes zero-offset
+// session (the legacy shape). `protocol` is a ProtocolRegistry key; `bp`
+// applies when it resolves to Bullet'. Unknown keys abort (callers reaching
+// this from the CLI validate against the registry first).
+ScenarioResult RunScenario(const std::string& protocol, const ScenarioConfig& cfg,
+                           const BulletPrimeConfig& bp = BulletPrimeConfig{});
+// Legacy enum shim; forwards through ProtocolKeyForSystem.
 ScenarioResult RunScenario(System system, const ScenarioConfig& cfg,
                            const BulletPrimeConfig& bp = BulletPrimeConfig{});
+
+// The scenario-level knob for --system: the requested registry key when set,
+// otherwise `fallback` (the scenario's default).
+std::string ScenarioSystemOr(const ScenarioConfig& cfg, const std::string& fallback);
+// As above, for scenarios whose sessions cover member *subsets*: a requested
+// protocol that requires spanning every node (Entry::requires_full_span, e.g.
+// splitstream) cannot apply, so it is ignored like any other inapplicable
+// override and `fallback` runs instead.
+std::string ScenarioSubsetSystemOr(const ScenarioConfig& cfg, const std::string& fallback);
+
+// Runs an arbitrary workload (N sessions with join schedules) over the
+// scenario's topology, dynamics and network knobs. Sessions whose FileParams
+// have num_blocks == 0 inherit the scenario file sizing (cfg.file_mb /
+// cfg.block_bytes); cfg.force_encoded applies to every session. This is what
+// RunScenario wraps, and what the session scenarios (fig18+) call directly.
+WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec& workload);
+
+// Converts one session's results to the legacy per-system ScenarioResult shape.
+ScenarioResult ToScenarioResult(const SessionResult& session, int32_t max_shared_link_flows);
 
 // --- Fig. 4 reference lines ---
 

@@ -48,9 +48,14 @@ bool ValidateParam(const std::string& key, double value, std::string* error) {
       *error = "loss values must be in [0, 1]";
       return false;
     }
+  } else if (key == "join-fraction") {
+    if (value < 0.0 || value > 1.0) {
+      *error = "join-fraction values must be in [0, 1]";
+      return false;
+    }
   } else {
     *error = "unknown sweep key '" + key +
-             "' (supported: nodes, file-mb, block-bytes, deadline-sec, loss)";
+             "' (supported: nodes, file-mb, block-bytes, deadline-sec, loss, join-fraction)";
     return false;
   }
   return true;
@@ -200,6 +205,8 @@ bool ApplySweepParam(const std::string& key, double value, ScenarioOptions* opti
     options->deadline_sec = value;
   } else if (key == "loss") {
     options->loss = value;
+  } else if (key == "join-fraction") {
+    options->join_fraction = value;
   } else {
     return false;
   }

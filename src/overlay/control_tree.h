@@ -21,8 +21,20 @@ struct ControlTree {
   int depth(NodeId n) const;
 
   // Random tree rooted at node 0: nodes join in random order and attach to a random
-  // node that still has fanout capacity.
+  // node that still has fanout capacity. Equivalent to RandomStaged with every
+  // other node in one stage (bit-for-bit: it consumes the RNG identically).
   static ControlTree Random(int num_nodes, int max_fanout, Rng& rng);
+
+  // Random tree over a member subset with a join schedule: `stages` lists the
+  // non-root members grouped by join time, earliest first. Each stage is
+  // shuffled, then its members attach one by one to a random already-attached
+  // node with spare fanout — so every parent joins no later than its children,
+  // which is what lets staggered-join sessions connect child-to-parent at join
+  // time. Nodes outside root/stages stay isolated (parent -1, no children);
+  // tree vectors are always sized num_nodes so global NodeIds index directly.
+  static ControlTree RandomStaged(int num_nodes, NodeId root,
+                                  const std::vector<std::vector<NodeId>>& stages, int max_fanout,
+                                  Rng& rng);
 };
 
 }  // namespace bullet

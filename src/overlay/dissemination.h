@@ -57,8 +57,13 @@ class DisseminationProtocol : public Protocol {
   bool is_source() const { return self() == source_; }
 
  protected:
-  // Records an arriving block. Returns true if the block was new. Handles metrics,
-  // completion recording, and stops the network once every receiver is done.
+  // Records an arriving block. Returns true if the block was new. Handles metrics
+  // and completion recording. Completion is *session-scoped*: the metrics object
+  // carries the session's receiver target and a harness-installed callback (see
+  // RunMetrics::SetCompletionPolicy) — this node finishing only ends the run if
+  // the workload layer decides every session is done. Without an installed
+  // policy (a bare protocol wired to a raw RunMetrics) the historical
+  // one-session rule applies: stop the network once every receiver is done.
   bool AcceptBlock(uint32_t id, int64_t wire_bytes) {
     NodeMetrics& m = metrics().node(self());
     if (!have_.Set(id)) {
@@ -75,7 +80,9 @@ class DisseminationProtocol : public Protocol {
     if (!is_source() && have_.count() == file_.DistinctNeeded()) {
       metrics().RecordCompletion(self(), now());
       OnFileComplete();
-      if (metrics().completed() >= metrics().num_nodes() - 1) {
+      if (metrics().has_completion_policy()) {
+        metrics().NotifyIfAllComplete();
+      } else if (metrics().completed() >= metrics().num_nodes() - 1) {
         net().Stop();
       }
     }

@@ -1,0 +1,31 @@
+#include "src/overlay/protocol_registry.h"
+
+#include <utility>
+
+namespace bullet {
+
+ProtocolRegistry& ProtocolRegistry::Global() {
+  static ProtocolRegistry* registry = new ProtocolRegistry();
+  return *registry;
+}
+
+bool ProtocolRegistry::Register(Entry entry) {
+  const std::string key = entry.key;
+  return entries_.emplace(key, std::move(entry)).second;
+}
+
+const ProtocolRegistry::Entry* ProtocolRegistry::Find(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ProtocolRegistry::Entry*> ProtocolRegistry::List() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+}  // namespace bullet

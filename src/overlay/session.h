@@ -1,0 +1,65 @@
+// Session and workload specifications — the unit of experiment wiring.
+//
+// A *session* is one file dissemination: file parameters, a source, the member
+// set that participates, and a join schedule (per-member offsets from the
+// session start). A *workload* is a set of sessions sharing one emulated
+// network; sessions may start staggered (flash crowds, late joiners) and run
+// concurrently over shared links, each with its own protocol chosen by name
+// from the ProtocolRegistry. The legacy single-session shape — one file, one
+// source, every node joining at t=0 — is the degenerate workload with one
+// session spanning all nodes with zero offsets.
+
+#ifndef SRC_OVERLAY_SESSION_H_
+#define SRC_OVERLAY_SESSION_H_
+
+#include <any>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/overlay/dissemination.h"
+#include "src/sim/time.h"
+
+namespace bullet {
+
+struct SessionSpec {
+  // Reporting label; defaults to the protocol's display name when empty.
+  std::string name;
+  // ProtocolRegistry key ("bullet-prime", "bullet", "bittorrent",
+  // "splitstream", or any custom registration). Ignored when the session is
+  // added with an explicit caller-supplied factory.
+  std::string protocol = "bullet-prime";
+  FileParams file;
+  NodeId source = 0;
+  // Participating nodes (global NodeIds). Empty means every node in the
+  // network. Sessions within one workload must have pairwise-disjoint member
+  // sets: one node runs at most one protocol instance.
+  std::vector<NodeId> members;
+  // Session epoch, relative to simulation start. Member join times are
+  // `start + join_offsets[i]`.
+  SimTime start = 0;
+  // Per-member join offsets, parallel to `members` (after the empty-members
+  // default is expanded, parallel to 0..n-1). Empty means all zero. The
+  // source's join time must be the session's earliest (it roots the control
+  // tree, and the tree only attaches joiners to already-joined parents).
+  std::vector<SimTime> join_offsets;
+  // Session seed; unset derives a per-session stream from the workload seed
+  // and the session index. The control tree, the per-node protocol RNGs and
+  // any protocol-level structures (e.g. SplitStream's forest) all derive from
+  // this value with the same constants the single-session harness always used.
+  std::optional<uint64_t> seed;
+  // Control-tree fanout (see ExperimentParams::tree_fanout for the rationale).
+  int tree_fanout = 8;
+  // Optional protocol-specific configuration. Each registered factory knows
+  // its own config type (e.g. BulletPrimeConfig) and falls back to defaults
+  // when the any is empty or holds a different type.
+  std::any protocol_config;
+};
+
+struct WorkloadSpec {
+  std::vector<SessionSpec> sessions;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_OVERLAY_SESSION_H_

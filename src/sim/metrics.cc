@@ -4,16 +4,26 @@ namespace bullet {
 
 std::vector<double> RunMetrics::CompletionSeconds(NodeId exclude, double incomplete_value) const {
   std::vector<double> out;
-  out.reserve(nodes_.size());
-  for (size_t i = 0; i < nodes_.size(); ++i) {
+  const auto append = [&](size_t i) {
     if (static_cast<NodeId>(i) == exclude) {
-      continue;
+      return;
     }
     const NodeMetrics& m = nodes_[i];
     if (m.completion >= 0) {
       out.push_back(SimToSec(m.completion));
     } else if (incomplete_value >= 0.0) {
       out.push_back(incomplete_value);
+    }
+  };
+  if (members_.empty()) {
+    out.reserve(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      append(i);
+    }
+  } else {
+    out.reserve(members_.size());
+    for (const NodeId n : members_) {
+      append(static_cast<size_t>(n));
     }
   }
   return out;

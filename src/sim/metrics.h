@@ -5,6 +5,8 @@
 #define SRC_SIM_METRICS_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -42,8 +44,43 @@ class RunMetrics {
   }
   int completed() const { return completed_; }
 
-  // Completion times in seconds for all nodes except `exclude` (the source). Nodes
-  // that never completed are reported at `incomplete_value` seconds if >= 0.
+  // --- session scoping ---
+  //
+  // A RunMetrics may describe a *session* over a subset of the network: node
+  // slots still index by global NodeId (non-members stay zero and do not
+  // affect the aggregate fractions), but completion accounting and the
+  // CompletionSeconds series are restricted to the member set, and "everyone
+  // finished" means the session's own receivers — not num_nodes()-1. The
+  // harness installs the policy; protocols only call NotifyIfAllComplete().
+
+  // Restricts CompletionSeconds to `members` (in the given order). Empty means
+  // every node, the historical behavior.
+  void SetMembers(std::vector<NodeId> members) { members_ = std::move(members); }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  // Arms the completion policy: once `receivers_target` nodes have completed,
+  // the next NotifyIfAllComplete() fires `on_all_complete` exactly once (the
+  // session-completion hook; the workload harness uses it to stop the network
+  // only when *every* session is done).
+  void SetCompletionPolicy(int receivers_target, std::function<void()> on_all_complete) {
+    completion_target_ = receivers_target;
+    on_all_complete_ = std::move(on_all_complete);
+  }
+  bool has_completion_policy() const { return completion_target_ >= 0; }
+  bool all_complete() const {
+    return completion_target_ >= 0 && completed_ >= completion_target_;
+  }
+  void NotifyIfAllComplete() {
+    if (all_complete() && on_all_complete_) {
+      // Move-out first: the callback may copy or destroy this object.
+      std::function<void()> cb = std::move(on_all_complete_);
+      on_all_complete_ = nullptr;
+      cb();
+    }
+  }
+
+  // Completion times in seconds for all member nodes except `exclude` (the source).
+  // Nodes that never completed are reported at `incomplete_value` seconds if >= 0.
   std::vector<double> CompletionSeconds(NodeId exclude, double incomplete_value = -1.0) const;
 
   // duplicate_blocks / (useful + duplicate) over all nodes.
@@ -56,6 +93,9 @@ class RunMetrics {
  private:
   std::vector<NodeMetrics> nodes_;
   int completed_ = 0;
+  int completion_target_ = -1;  // < 0: no policy installed (legacy fallback applies)
+  std::function<void()> on_all_complete_;
+  std::vector<NodeId> members_;  // empty: all nodes
 };
 
 }  // namespace bullet

@@ -59,6 +59,43 @@ TEST(JsonReaderFuzz, BadEscapesAreRejected) {
   EXPECT_TRUE(Parses(R"("\" \\ \/ \b \f \n \r \t A")"));
 }
 
+std::string ParsedString(const std::string& doc) {
+  JsonValue value;
+  std::string error;
+  if (!ParseJson(doc, &value, &error) || !value.is_string()) {
+    ADD_FAILURE() << doc << ": " << error;
+    return {};
+  }
+  return value.str();
+}
+
+TEST(JsonReaderFuzz, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(ParsedString(R"("\u0041")"), "A");
+  EXPECT_EQ(ParsedString(R"("\u00e9")"), "\xC3\xA9");      // e-acute, 2-byte UTF-8
+  EXPECT_EQ(ParsedString(R"("\u20AC")"), "\xE2\x82\xAC");  // euro sign, 3-byte UTF-8
+  // Astral plane via a surrogate pair: U+1F600 (grinning face), 4-byte UTF-8.
+  EXPECT_EQ(ParsedString(R"("\ud83d\ude00")"), "\xF0\x9F\x98\x80");
+  EXPECT_EQ(ParsedString(R"("x\uD83D\uDE00y")"), "x\xF0\x9F\x98\x80y");
+  // Highest code point, U+10FFFF.
+  EXPECT_EQ(ParsedString(R"("\udbff\udfff")"), "\xF4\x8F\xBF\xBF");
+  // \u0000 is a legal escape and must survive as an embedded NUL.
+  EXPECT_EQ(ParsedString(R"("a\u0000b")"), std::string("a\0b", 3));
+}
+
+TEST(JsonReaderFuzz, LoneAndMismatchedSurrogatesAreRejected) {
+  std::string error;
+  EXPECT_FALSE(Parses(R"("\ud83d")", &error));     // lone high surrogate
+  EXPECT_NE(error.find("surrogate"), std::string::npos) << error;
+  EXPECT_FALSE(Parses(R"("\ude00")"));             // lone low surrogate
+  EXPECT_FALSE(Parses(R"("\ud83dA")"));            // high followed by raw char
+  EXPECT_FALSE(Parses(R"("\ud83d\n")"));           // high followed by other escape
+  EXPECT_FALSE(Parses(R"("\ud83d\ud83d")"));       // high followed by another high
+  EXPECT_FALSE(Parses(R"("\ud83d\u0041")"));       // high followed by a non-surrogate
+  EXPECT_FALSE(Parses(R"("\ud83d\ude0")"));        // truncated low half
+  EXPECT_FALSE(Parses(R"("\ud83d\u")"));           // bare second escape
+  EXPECT_FALSE(Parses(R"("\ud83d)"));              // input ends after the high half
+}
+
 TEST(JsonReaderFuzz, DuplicateObjectKeysKeepTheFirstValue) {
   // Pinned behaviour: emplace into the member map means first-wins. bench
   // documents never emit duplicates; a hand-edited baseline that does must

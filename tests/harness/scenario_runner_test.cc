@@ -84,6 +84,32 @@ TEST(ParseRunnerArgsTest, RejectsBadSweepValues) {
   EXPECT_FALSE(Parse({"--scenario", "x", "--loss", "1.5"}).ok);
 }
 
+TEST(ParseRunnerArgsTest, SystemFlag) {
+  const RunnerArgs args = Parse({"--scenario", "x", "--system", "bittorrent"});
+  ASSERT_TRUE(args.ok) << args.error;
+  ASSERT_TRUE(args.options.system.has_value());
+  EXPECT_EQ(*args.options.system, "bittorrent");
+  for (const char* key : {"bullet-prime", "bullet", "splitstream"}) {
+    EXPECT_TRUE(Parse({"--scenario", "x", "--system", key}).ok) << key;
+  }
+  EXPECT_FALSE(Parse({"--scenario", "x", "--system"}).ok);  // missing value
+  const RunnerArgs unknown = Parse({"--scenario", "x", "--system", "gnutella"});
+  EXPECT_FALSE(unknown.ok);  // unknown names are usage errors (exit 2 below)
+  EXPECT_NE(unknown.error.find("registered protocol"), std::string::npos) << unknown.error;
+}
+
+TEST(ParseRunnerArgsTest, JoinFractionFlag) {
+  const RunnerArgs args = Parse({"--scenario", "x", "--join-fraction", "0.5"});
+  ASSERT_TRUE(args.ok) << args.error;
+  ASSERT_TRUE(args.options.join_fraction.has_value());
+  EXPECT_DOUBLE_EQ(*args.options.join_fraction, 0.5);
+  EXPECT_TRUE(Parse({"--scenario", "x", "--join-fraction", "0"}).ok);
+  EXPECT_TRUE(Parse({"--scenario", "x", "--join-fraction", "1"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--join-fraction", "1.5"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--join-fraction", "-0.1"}).ok);
+  EXPECT_FALSE(Parse({"--scenario", "x", "--join-fraction", "abc"}).ok);
+}
+
 TEST(ParseRunnerArgsTest, RejectsUnknownFlag) {
   const RunnerArgs args = Parse({"--scenario", "x", "--frobnicate"});
   EXPECT_FALSE(args.ok);
@@ -152,6 +178,27 @@ TEST_F(RunnerMainTest, BadFlagFailsWithUsage) {
   EXPECT_EQ(Run({"--bogus"}), 2);
   EXPECT_NE(err_.str().find("unknown argument"), std::string::npos);
   EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(RunnerMainTest, UnknownSystemIsUsageError) {
+  EXPECT_EQ(Run({"--scenario", "tiny", "--system", "gnutella"}), 2);
+  EXPECT_NE(err_.str().find("registered protocol"), std::string::npos);
+  EXPECT_TRUE(out_.str().empty());
+}
+
+TEST_F(RunnerMainTest, SystemAndJoinFractionEchoInRequestedOptions) {
+  const std::string path = ::testing::TempDir() + "/bullet_runner_system_test.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(Run({"--scenario", "tiny", "--system", "bittorrent", "--join-fraction", "0.5",
+                 "--out", path.c_str(), "--quiet"}),
+            0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_NE(json.find("\"system\":\"bittorrent\""), std::string::npos);
+  EXPECT_NE(json.find("\"join_fraction\":0.5"), std::string::npos);
 }
 
 TEST_F(RunnerMainTest, ListWritesOnlyToStdout) {

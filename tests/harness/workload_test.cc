@@ -1,0 +1,275 @@
+// Session/workload harness coverage: the protocol registry, spec validation,
+// legacy-wrapper equivalence (the single-session Experiment must be a thin
+// wrapper over WorkloadExperiment, bit for bit), staggered joins, and the
+// per-session completion contract — session A completing never stops session B.
+
+#include "src/harness/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/bullet_prime.h"
+#include "src/harness/experiment.h"
+#include "src/harness/scenarios.h"
+#include "src/overlay/protocol_registry.h"
+
+namespace bullet {
+namespace {
+
+// Small uniform mesh: generous symmetric links keep these runs fast and make
+// completion ordering depend on file size, not topology luck.
+std::unique_ptr<Topology> SmallUniform(int nodes, uint64_t seed) {
+  Rng rng(seed);
+  return std::make_unique<MeshTopology>(
+      MeshTopology::Uniform(nodes, 10e6, MsToSim(20), 0.0, 0.0, rng));
+}
+
+FileParams SmallFile(uint32_t blocks) {
+  FileParams file;
+  file.block_bytes = 16 * 1024;
+  file.num_blocks = blocks;
+  return file;
+}
+
+TEST(ProtocolRegistry, BuiltinSystemsAreRegistered) {
+  EnsureBuiltinProtocolsRegistered();
+  const ProtocolRegistry& registry = ProtocolRegistry::Global();
+  ASSERT_GE(registry.size(), 4u);
+  const ProtocolRegistry::Entry* bp = registry.Find("bullet-prime");
+  ASSERT_NE(bp, nullptr);
+  EXPECT_EQ(bp->display_name, "BulletPrime");
+  EXPECT_FALSE(bp->encoded_stream);
+  const ProtocolRegistry::Entry* legacy = registry.Find("bullet");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->display_name, "Bullet");
+  EXPECT_TRUE(legacy->encoded_stream);
+  ASSERT_NE(registry.Find("bittorrent"), nullptr);
+  const ProtocolRegistry::Entry* ss = registry.Find("splitstream");
+  ASSERT_NE(ss, nullptr);
+  EXPECT_TRUE(ss->encoded_stream);
+  EXPECT_EQ(registry.Find("no-such-protocol"), nullptr);
+}
+
+TEST(ProtocolRegistry, DuplicateKeyIsRejected) {
+  EnsureBuiltinProtocolsRegistered();
+  ProtocolRegistry::Entry dup;
+  dup.key = "bullet-prime";
+  dup.display_name = "X";
+  dup.make = [](const ProtocolRegistry::SessionEnv&) -> ProtocolRegistry::NodeFactory {
+    return nullptr;
+  };
+  EXPECT_FALSE(ProtocolRegistry::Global().Register(std::move(dup)));
+  EXPECT_EQ(ProtocolRegistry::Global().Find("bullet-prime")->display_name, "BulletPrime");
+}
+
+// The legacy Experiment and a registry-driven WorkloadExperiment session with
+// the same (dense members, zero offsets) shape must produce bitwise-identical
+// completions: the wrapper claim is exact, not approximate.
+TEST(WorkloadExperiment, LegacyExperimentIsAThinWrapper) {
+  ExperimentParams params;
+  params.seed = 5151;
+  params.file = SmallFile(24);
+  params.deadline = SecToSim(600.0);
+
+  Experiment legacy(SmallUniform(10, 42), params);
+  const RunMetrics legacy_metrics =
+      legacy.Run([&](const Protocol::Context& ctx, const ControlTree* tree) {
+        return std::make_unique<BulletPrime>(ctx, params.file, params.source, tree,
+                                             BulletPrimeConfig{});
+      });
+
+  WorkloadParams wl_params;
+  wl_params.seed = params.seed;
+  wl_params.deadline = params.deadline;
+  WorkloadExperiment wl(SmallUniform(10, 42), wl_params);
+  SessionSpec spec;
+  spec.protocol = "bullet-prime";
+  spec.file = params.file;
+  spec.seed = params.seed;
+  // Explicit dense members: must be recognized as the legacy shape.
+  for (NodeId n = 0; n < 10; ++n) {
+    spec.members.push_back(n);
+  }
+  wl.AddSession(spec);
+  const WorkloadResult result = wl.Run();
+
+  const std::vector<double> legacy_completions =
+      legacy_metrics.CompletionSeconds(0, SimToSec(params.deadline));
+  ASSERT_EQ(result.sessions.size(), 1u);
+  ASSERT_EQ(result.sessions[0].completion_sec.size(), legacy_completions.size());
+  for (size_t i = 0; i < legacy_completions.size(); ++i) {
+    EXPECT_EQ(result.sessions[0].completion_sec[i], legacy_completions[i]) << "receiver " << i;
+  }
+  EXPECT_EQ(result.sessions[0].completed, legacy_metrics.completed());
+  EXPECT_EQ(result.sessions[0].name, "BulletPrime");
+}
+
+// The heart of the per-session completion redesign: a fast session finishing
+// must leave a slower concurrent session running to its own completion. Under
+// the old rule (stop the network at num_nodes()-1 completions) session A's
+// finish — or A+B together reaching the global receiver count — would have
+// frozen B mid-transfer.
+TEST(WorkloadExperiment, SessionACompletingNeverStopsSessionB) {
+  WorkloadParams params;
+  params.seed = 99;
+  params.deadline = SecToSim(3600.0);
+  WorkloadExperiment wl(SmallUniform(12, 7), params);
+
+  SessionSpec a;
+  a.name = "A";
+  a.protocol = "bullet-prime";
+  a.file = SmallFile(8);  // small file: finishes first
+  a.members = {0, 2, 4, 6, 8, 10};
+  a.source = 0;
+  wl.AddSession(a);
+
+  SessionSpec b;
+  b.name = "B";
+  b.protocol = "bullet-prime";
+  b.file = SmallFile(64);  // 8x the bytes: still transferring when A is done
+  b.members = {1, 3, 5, 7, 9, 11};
+  b.source = 1;
+  wl.AddSession(b);
+
+  const WorkloadResult result = wl.Run();
+  ASSERT_EQ(result.sessions.size(), 2u);
+  const SessionResult& ra = result.sessions[0];
+  const SessionResult& rb = result.sessions[1];
+  // Both sessions ran to full completion.
+  EXPECT_EQ(result.sessions_completed, 2);
+  EXPECT_EQ(ra.completed, ra.receivers);
+  EXPECT_EQ(rb.completed, rb.receivers) << "session B was cut off by session A completing";
+  ASSERT_GE(ra.completed_at_sec, 0.0);
+  ASSERT_GE(rb.completed_at_sec, 0.0);
+  // And A genuinely finished first, so B's completions happened after A ended.
+  EXPECT_LT(ra.completed_at_sec, rb.completed_at_sec);
+  const double b_max = *std::max_element(rb.completion_sec.begin(), rb.completion_sec.end());
+  EXPECT_GT(b_max, ra.completed_at_sec);
+}
+
+TEST(WorkloadExperiment, StaggeredJoinersCompleteAfterTheirJoinTime) {
+  WorkloadParams params;
+  params.seed = 1234;
+  params.deadline = SecToSim(3600.0);
+  WorkloadExperiment wl(SmallUniform(12, 9), params);
+
+  SessionSpec spec;
+  spec.protocol = "bullet-prime";
+  spec.file = SmallFile(16);
+  const double join_sec = 20.0;
+  for (NodeId n = 0; n < 12; ++n) {
+    spec.members.push_back(n);
+    spec.join_offsets.push_back(n >= 6 ? SecToSim(join_sec) : 0);
+  }
+  wl.AddSession(spec);
+  const WorkloadResult result = wl.Run();
+
+  const SessionResult& r = result.sessions[0];
+  EXPECT_EQ(r.completed, r.receivers);
+  EXPECT_EQ(wl.session_join_time(0, 3), 0);
+  EXPECT_EQ(wl.session_join_time(0, 9), SecToSim(join_sec));
+  // completion_sec is member-ordered with the source excluded: entries 5..10
+  // are the late cohort (nodes 6..11).
+  ASSERT_EQ(r.completion_sec.size(), 11u);
+  for (size_t i = 5; i < r.completion_sec.size(); ++i) {
+    EXPECT_GT(r.completion_sec[i], join_sec) << "late joiner completed before joining";
+    EXPECT_NEAR(r.download_sec[i], r.completion_sec[i] - join_sec, 1e-12);
+  }
+  // The staged tree only hangs late joiners under parents that joined no later.
+  const ControlTree& tree = wl.session_tree(0);
+  for (NodeId n = 1; n < 12; ++n) {
+    const NodeId p = tree.parent[static_cast<size_t>(n)];
+    ASSERT_GE(p, 0);
+    EXPECT_LE(wl.session_join_time(0, p), wl.session_join_time(0, n));
+  }
+}
+
+TEST(WorkloadExperiment, InvalidSpecsDie) {
+  WorkloadParams params;
+  // Each case sets the spec up outside EXPECT_DEATH (brace-initializers carry
+  // commas the macro would split on) and dies inside AddSession.
+  {
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.protocol = "no-such-protocol";
+    EXPECT_DEATH(wl.AddSession(s), "unknown protocol");
+  }
+  {
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.members = {1, 2, 3};
+    s.source = 0;
+    EXPECT_DEATH(wl.AddSession(s), "source must be a session member");
+  }
+  {
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec a;
+    a.members = {0, 1, 2, 3};
+    wl.AddSession(a);
+    SessionSpec b;
+    b.members = {3, 4, 5};
+    b.source = 3;
+    EXPECT_DEATH(wl.AddSession(b), "disjoint");
+  }
+  {
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.members = {0, 1, 2};
+    s.join_offsets = {0, 0};
+    EXPECT_DEATH(wl.AddSession(s), "parallel");
+  }
+  {
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.members = {0, 1, 2};
+    s.join_offsets = {SecToSim(5.0), 0, 0};
+    EXPECT_DEATH(wl.AddSession(s), "source must join no later");
+  }
+  {
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.members = {0};
+    EXPECT_DEATH(wl.AddSession(s), "at least one receiver");
+  }
+}
+
+// The string-keyed RunScenario and the legacy enum overload are the same run.
+TEST(RunScenarioByName, MatchesEnumDispatchBitwise) {
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kUniform;
+  cfg.num_nodes = 8;
+  cfg.file_mb = 0.5;
+  cfg.seed = 606;
+  cfg.deadline = SecToSim(1200.0);
+
+  const ScenarioResult by_enum = RunScenario(System::kBitTorrent, cfg);
+  const ScenarioResult by_name = RunScenario("bittorrent", cfg);
+  EXPECT_EQ(by_enum.name, by_name.name);
+  ASSERT_EQ(by_enum.completion_sec.size(), by_name.completion_sec.size());
+  for (size_t i = 0; i < by_enum.completion_sec.size(); ++i) {
+    EXPECT_EQ(by_enum.completion_sec[i], by_name.completion_sec[i]);
+  }
+  EXPECT_EQ(by_enum.completed, by_name.completed);
+}
+
+// Encoded-stream methodology comes from the registry entry, exactly like the
+// old hard-coded system checks in RunScenario.
+TEST(RunScenarioByName, EncodedStreamFollowsRegistryEntry) {
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kUniform;
+  cfg.num_nodes = 6;
+  cfg.file_mb = 0.25;
+  cfg.seed = 707;
+  cfg.deadline = SecToSim(1200.0);
+
+  const ScenarioResult legacy_bullet = RunScenario("bullet", cfg);
+  EXPECT_EQ(legacy_bullet.name, "Bullet");
+  EXPECT_EQ(legacy_bullet.completed, legacy_bullet.receivers);
+}
+
+}  // namespace
+}  // namespace bullet

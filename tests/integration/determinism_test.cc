@@ -23,8 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "src/harness/churn.h"
 #include "src/harness/scenario_runner.h"
 #include "src/harness/scenarios.h"
+#include "src/harness/workload.h"
 #include "src/sim/dynamics.h"
 #include "src/sim/network.h"
 
@@ -257,6 +259,85 @@ TEST(Determinism, TransitStubScriptRepeatedRunsIdentical) {
   const std::vector<std::string> b = RunScript(NetworkConfig{}, RoutedScriptTopology());
   ASSERT_FALSE(a.empty());
   EXPECT_EQ(a, b);
+}
+
+// --- session-workload goldens (staggered joins + churn) ---
+
+// A flash-crowd-with-churn workload: half the receivers join at t=12 s, and
+// two control-tree leaves are killed mid-run, so the session can never fully
+// complete and the run ends at the deadline. Exercises event-queue-driven
+// joins, the staged tree, session-scoped completion accounting and FailNode
+// racing in-flight joins/deliveries — all of it must be exactly reproducible.
+WorkloadResult RunLateJoinChurnWorkload(bool full_recompute) {
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kMesh;
+  cfg.num_nodes = 14;
+  cfg.file_mb = 1.5;
+  cfg.seed = 1805;
+
+  WorkloadParams params;
+  params.seed = cfg.seed;
+  params.deadline = SecToSim(150.0);
+  params.full_recompute_allocator = full_recompute;
+  WorkloadExperiment exp(BuildScenarioTopology(cfg), params);
+
+  SessionSpec spec;
+  spec.protocol = "bullet-prime";
+  spec.file.block_bytes = cfg.block_bytes;
+  spec.file.num_blocks = static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 /
+                                               static_cast<double>(cfg.block_bytes));
+  spec.seed = cfg.seed;
+  for (NodeId n = 0; n < cfg.num_nodes; ++n) {
+    spec.members.push_back(n);
+    spec.join_offsets.push_back(n >= 7 ? SecToSim(12.0) : 0);
+  }
+  exp.AddSession(spec);
+
+  Rng churn_rng(777);
+  ChurnPlan plan = PlanLeafFailures(exp.session_tree(0), /*source=*/0, /*count=*/2, churn_rng);
+  plan.first_kill = SecToSim(15.0);
+  ScheduleChurn(exp.net(), plan);
+  return exp.Run();
+}
+
+std::string SerializeWorkload(const WorkloadResult& result) {
+  ScenarioReport report("workload_determinism");
+  for (const SessionResult& session : result.sessions) {
+    report.AddCompletion(session.name, ToScenarioResult(session, result.max_shared_link_flows));
+    report.AddSeries(session.name + " download", session.download_sec);
+  }
+  report.AddScalar("sessions_completed", result.sessions_completed);
+  std::ostringstream os;
+  WriteReportJson(os, report, ScenarioOptions{});
+  return os.str();
+}
+
+TEST(Determinism, LateJoinChurnWorkloadRepeatedRunsSerializeIdentically) {
+  const std::string first = SerializeWorkload(RunLateJoinChurnWorkload(false));
+  const std::string second = SerializeWorkload(RunLateJoinChurnWorkload(false));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, LateJoinChurnWorkloadIncrementalMatchesFullRecompute) {
+  const WorkloadResult incremental = RunLateJoinChurnWorkload(false);
+  const WorkloadResult full = RunLateJoinChurnWorkload(true);
+  ASSERT_EQ(incremental.sessions.size(), full.sessions.size());
+  const SessionResult& a = incremental.sessions[0];
+  const SessionResult& b = full.sessions[0];
+  ASSERT_EQ(a.completion_sec.size(), b.completion_sec.size());
+  for (size_t i = 0; i < a.completion_sec.size(); ++i) {
+    // Bitwise equality: the incremental tick must be exactly the full
+    // recomputation even across event-driven joins and churn.
+    EXPECT_EQ(a.completion_sec[i], b.completion_sec[i]) << "receiver " << i;
+    EXPECT_EQ(a.download_sec[i], b.download_sec[i]) << "receiver " << i;
+  }
+  EXPECT_EQ(a.completed, b.completed);
+  // The killed leaves keep the session from completing; both modes must agree
+  // the deadline, not a session stop, ended the run.
+  EXPECT_LT(a.completed, a.receivers);
+  EXPECT_EQ(incremental.sessions_completed, 0);
+  EXPECT_EQ(full.sessions_completed, 0);
 }
 
 TEST(Determinism, SkipIdleTicksMatchesDefaultOnCollisionFreeScript) {

@@ -94,5 +94,59 @@ TEST(ControlTree, DeterministicGivenSeed) {
   EXPECT_EQ(a.parent, b.parent);
 }
 
+TEST(ControlTree, RandomStagedWithOneStageMatchesRandomBitwise) {
+  // Random() is specified as the one-stage special case; legacy runs rely on
+  // the two consuming the RNG identically.
+  Rng rng1(77);
+  Rng rng2(77);
+  ControlTree a = ControlTree::Random(60, 6, rng1);
+  std::vector<NodeId> joiners;
+  for (NodeId n = 1; n < 60; ++n) {
+    joiners.push_back(n);
+  }
+  ControlTree b = ControlTree::RandomStaged(60, 0, {joiners}, 6, rng2);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.children, b.children);
+  EXPECT_EQ(a.subtree_size, b.subtree_size);
+}
+
+TEST(ControlTree, RandomStagedParentsJoinNoLaterThanChildren) {
+  // Three join waves; every node's parent must be in an earlier-or-same wave,
+  // so a staggered-join session can always connect child -> parent.
+  Rng rng(31);
+  std::vector<std::vector<NodeId>> stages = {{1, 2, 3}, {4, 5, 6, 7, 8}, {9, 10, 11}};
+  std::vector<int> wave(12, 0);  // root 0 in wave 0
+  for (size_t w = 0; w < stages.size(); ++w) {
+    for (const NodeId n : stages[w]) {
+      wave[static_cast<size_t>(n)] = static_cast<int>(w) + 1;
+    }
+  }
+  ControlTree tree = ControlTree::RandomStaged(12, 0, stages, 3, rng);
+  for (NodeId n = 1; n < 12; ++n) {
+    const NodeId p = tree.parent[static_cast<size_t>(n)];
+    ASSERT_GE(p, 0) << "node " << n << " unattached";
+    EXPECT_LE(wave[static_cast<size_t>(p)], wave[static_cast<size_t>(n)])
+        << "parent " << p << " of " << n << " joins later";
+  }
+  EXPECT_EQ(tree.subtree_size[0], 12);
+}
+
+TEST(ControlTree, RandomStagedSubsetLeavesNonMembersIsolated) {
+  // A session over a member subset: the tree spans only root + stage members;
+  // everyone else stays parentless with no children, and the root is the
+  // session source (not node 0).
+  Rng rng(13);
+  ControlTree tree = ControlTree::RandomStaged(10, 4, {{2, 6}, {8}}, 4, rng);
+  EXPECT_TRUE(tree.IsRoot(4));
+  EXPECT_EQ(tree.subtree_size[4], 4);
+  for (const NodeId member : {2, 6, 8}) {
+    EXPECT_GE(tree.parent[static_cast<size_t>(member)], 0);
+  }
+  for (const NodeId outsider : {0, 1, 3, 5, 7, 9}) {
+    EXPECT_LT(tree.parent[static_cast<size_t>(outsider)], 0);
+    EXPECT_TRUE(tree.children[static_cast<size_t>(outsider)].empty());
+  }
+}
+
 }  // namespace
 }  // namespace bullet
