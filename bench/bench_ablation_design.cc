@@ -38,7 +38,7 @@ BULLET_SCENARIO(ablation_trim, "Ablation — sender trim threshold (sigma sweep)
       bp.trim_stddevs = tenths / 10.0;
       name = "trim " + std::to_string(tenths / 10.0).substr(0, 3) + " sigma";
     }
-    report.AddCompletion(name, RunScenario(System::kBulletPrime, cfg, bp));
+    report.AddCompletion(name, RunScenario("bullet-prime", cfg, bp));
   }
   return report;
 }
@@ -50,7 +50,7 @@ BULLET_SCENARIO(ablation_piggyback, "Ablation — availability piggyback budget"
     BulletPrimeConfig bp;
     bp.piggyback_limit = limit;
     report.AddCompletion("piggyback " + std::to_string(limit),
-                         RunScenario(System::kBulletPrime, cfg, bp));
+                         RunScenario("bullet-prime", cfg, bp));
   }
   return report;
 }
@@ -62,7 +62,7 @@ BULLET_SCENARIO(ablation_source_push, "Ablation — source push order (round-rob
     BulletPrimeConfig bp;
     bp.source_random_push = random;
     report.AddCompletion(random ? "source random push" : "source round-robin push",
-                         RunScenario(System::kBulletPrime, cfg, bp));
+                         RunScenario("bullet-prime", cfg, bp));
   }
   return report;
 }

@@ -17,13 +17,13 @@
 namespace bullet {
 namespace {
 
-std::vector<double> RunChurn(System system, int kills, const ScenarioConfig& cfg) {
+std::vector<double> RunChurn(bool legacy, int kills, const ScenarioConfig& cfg) {
   ExperimentParams params;
   params.seed = cfg.seed;
   params.file.block_bytes = cfg.block_bytes;
   params.file.num_blocks =
       static_cast<uint32_t>(cfg.file_mb * 1024.0 * 1024.0 / static_cast<double>(cfg.block_bytes));
-  params.file.encoded = system == System::kBulletLegacy;
+  params.file.encoded = legacy;
   params.deadline = cfg.deadline;
   Experiment exp(BuildScenarioTopology(cfg), params);
 
@@ -39,7 +39,7 @@ std::vector<double> RunChurn(System system, int kills, const ScenarioConfig& cfg
   BulletPrimeConfig bp;
   RunMetrics metrics = exp.Run([&](const Protocol::Context& ctx, const ControlTree* tree)
                                    -> std::unique_ptr<Protocol> {
-    if (system == System::kBulletLegacy) {
+    if (legacy) {
       return std::make_unique<BulletLegacy>(ctx, params.file, params.source, tree,
                                             BulletLegacyConfig{});
     }
@@ -67,15 +67,16 @@ BULLET_SCENARIO(churn_resilience, "Extension — survivor completion under leaf 
   ApplyScenarioOptions(opts, &cfg);
 
   struct Sweep {
-    System system;
+    const char* name;  // display name, matching the registry's display_name
+    bool legacy;
     int kills;
   };
   ScenarioReport report(kScenarioName);
-  for (const Sweep sweep : {Sweep{System::kBulletPrime, 0}, Sweep{System::kBulletPrime, 10},
-                            Sweep{System::kBulletPrime, 25}, Sweep{System::kBulletLegacy, 0},
-                            Sweep{System::kBulletLegacy, 25}}) {
-    const auto times = RunChurn(sweep.system, sweep.kills, cfg);
-    report.AddSeries(std::string(SystemName(sweep.system)) + " survivors, " +
+  for (const Sweep sweep :
+       {Sweep{"BulletPrime", false, 0}, Sweep{"BulletPrime", false, 10},
+        Sweep{"BulletPrime", false, 25}, Sweep{"Bullet", true, 0}, Sweep{"Bullet", true, 25}}) {
+    const auto times = RunChurn(sweep.legacy, sweep.kills, cfg);
+    report.AddSeries(std::string(sweep.name) + " survivors, " +
                          std::to_string(sweep.kills) + " failures",
                      times);
   }

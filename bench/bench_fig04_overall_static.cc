@@ -19,8 +19,7 @@ BULLET_SCENARIO(fig04_overall_static, "Fig. 4 — overall performance, static co
   ApplyScenarioOptions(opts, &cfg);
 
   ScenarioReport report(kScenarioName);
-  for (const System system :
-       {System::kBulletPrime, System::kBulletLegacy, System::kBitTorrent, System::kSplitStream}) {
+  for (const char* system : {"bullet-prime", "bullet", "bittorrent", "splitstream"}) {
     report.AddCompletion(RunScenario(system, cfg));
   }
 

@@ -22,8 +22,7 @@ BULLET_SCENARIO(fig14_widearea, "Fig. 14 — wide-area (PlanetLab stand-in) comp
   ApplyScenarioOptions(opts, &cfg);
 
   ScenarioReport report(kScenarioName);
-  for (const System system :
-       {System::kBulletPrime, System::kBulletLegacy, System::kBitTorrent, System::kSplitStream}) {
+  for (const char* system : {"bullet-prime", "bullet", "bittorrent", "splitstream"}) {
     const ScenarioResult r = RunScenario(system, cfg);
     report.AddCompletion(r.name + " (wide-area)", r);
   }

@@ -40,7 +40,7 @@ BULLET_SCENARIO(fig17_transitstub_widearea,
 
   ScenarioReport report(kScenarioName);
   int32_t shared_flows = 0;
-  for (const System system : {System::kBulletPrime, System::kBitTorrent}) {
+  for (const char* system : {"bullet-prime", "bittorrent"}) {
     const ScenarioResult r = RunScenario(system, cfg);
     report.AddCompletion(r.name + " (transit-stub)", r);
     shared_flows = std::max(shared_flows, r.max_shared_link_flows);

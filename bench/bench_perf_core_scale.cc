@@ -42,12 +42,12 @@ BULLET_SCENARIO(perf_core_scale,
 
   cfg.full_recompute_allocator = false;
   const auto t_inc = std::chrono::steady_clock::now();
-  const ScenarioResult inc = RunScenario(System::kBulletPrime, cfg);
+  const ScenarioResult inc = RunScenario("bullet-prime", cfg);
   const double wall_inc = WallSeconds(t_inc);
 
   cfg.full_recompute_allocator = true;
   const auto t_full = std::chrono::steady_clock::now();
-  const ScenarioResult full = RunScenario(System::kBulletPrime, cfg);
+  const ScenarioResult full = RunScenario("bullet-prime", cfg);
   const double wall_full = WallSeconds(t_full);
 
   report.AddCompletion("BulletPrime (incremental core)", inc);

@@ -29,7 +29,7 @@ inline void RunOutstandingSweep(const ScenarioConfig& cfg, const std::vector<int
       bp.fixed_outstanding = window;
       name = "BulletPrime " + std::to_string(window) + " outstanding";
     }
-    report->AddCompletion(name, RunScenario(System::kBulletPrime, cfg, bp));
+    report->AddCompletion(name, RunScenario("bullet-prime", cfg, bp));
   }
 }
 

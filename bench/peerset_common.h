@@ -25,7 +25,7 @@ inline void RunPeerSetSweep(const ScenarioConfig& cfg, const std::vector<int>& p
       bp.initial_receivers = peers;
       name = "BulletPrime " + std::to_string(peers) + " senders/receivers";
     }
-    report->AddCompletion(name, RunScenario(System::kBulletPrime, cfg, bp));
+    report->AddCompletion(name, RunScenario("bullet-prime", cfg, bp));
   }
 }
 

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   cfg.file_mb = file_mb;
   cfg.force_encoded = true;
   cfg.seed = 31;
-  const bullet::ScenarioResult r = bullet::RunScenario(bullet::System::kBulletPrime, cfg);
+  const bullet::ScenarioResult r = bullet::RunScenario("bullet-prime", cfg);
   std::printf("encoded dissemination: %d/%d nodes complete, median %.1f s (4%% overhead rule)\n",
               r.completed, r.receivers, bullet::Percentile(r.completion_sec, 0.5));
 

@@ -19,9 +19,7 @@ int main(int argc, char** argv) {
     std::printf("\n=== flash crowd: %d nodes, %.1f MB, %s conditions ===\n", num_nodes, file_mb,
                 dynamic ? "dynamic (bandwidth halving every 20s)" : "static");
     std::vector<bullet::CdfSeries> series;
-    for (const bullet::System system :
-         {bullet::System::kBulletPrime, bullet::System::kBulletLegacy,
-          bullet::System::kBitTorrent, bullet::System::kSplitStream}) {
+    for (const char* system : {"bullet-prime", "bullet", "bittorrent", "splitstream"}) {
       bullet::ScenarioConfig cfg;
       cfg.num_nodes = num_nodes;
       cfg.file_mb = file_mb;

@@ -486,6 +486,7 @@ void RegisterBitTorrentProtocol() {
   entry.description = "BitTorrent baseline: tracker peer lists, rarest-first pieces, "
                       "tit-for-tat choking";
   entry.encoded_stream = false;
+  entry.config_type = &typeid(BitTorrentConfig);
   entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
     BitTorrentConfig config;
     if (const auto* c = std::any_cast<BitTorrentConfig>(&env.spec->protocol_config)) {

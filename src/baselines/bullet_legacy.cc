@@ -355,6 +355,7 @@ void RegisterBulletLegacyProtocol() {
   entry.description = "The released Bullet (INFOCOM'03 design): fixed peer sets and "
                       "per-peer windows over a source-encoded stream";
   entry.encoded_stream = true;
+  entry.config_type = &typeid(BulletLegacyConfig);
   entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
     BulletLegacyConfig config;
     if (const auto* c = std::any_cast<BulletLegacyConfig>(&env.spec->protocol_config)) {

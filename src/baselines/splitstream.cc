@@ -162,6 +162,7 @@ void RegisterSplitStreamProtocol() {
                       "a source-encoded stream";
   entry.encoded_stream = true;
   entry.requires_full_span = true;
+  entry.config_type = &typeid(SplitStreamConfig);
   entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
     SplitStreamConfig config;
     if (const auto* c = std::any_cast<SplitStreamConfig>(&env.spec->protocol_config)) {

@@ -688,7 +688,8 @@ double BulletPrime::TotalIncomingBps() const { return incoming_total_Bps_.value(
 namespace {
 
 // Pulls the session's BulletPrimeConfig out of the spec, defaulting when the
-// caller supplied none (or a different protocol's config type).
+// caller supplied none. The harness validated the type against the registry's
+// config_type at AddSession, so a non-empty any always holds this type.
 BulletPrimeConfig ResolveBulletPrimeConfig(const SessionSpec& spec) {
   if (const auto* config = std::any_cast<BulletPrimeConfig>(&spec.protocol_config)) {
     return *config;
@@ -705,6 +706,7 @@ void RegisterBulletPrimeProtocol() {
   entry.description = "Bullet' (Section 3): adaptive mesh over RanSub with the paper's "
                       "peer-set and outstanding-request controllers";
   entry.encoded_stream = false;
+  entry.config_type = &typeid(BulletPrimeConfig);
   entry.make = [](const ProtocolRegistry::SessionEnv& env) -> ProtocolRegistry::NodeFactory {
     const BulletPrimeConfig config = ResolveBulletPrimeConfig(*env.spec);
     const FileParams file = env.spec->file;

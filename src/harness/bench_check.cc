@@ -26,11 +26,16 @@ std::string PointKey(const JsonValue& point) {
       key += ',';
     }
     key += name + '=';
-    std::ostringstream os;
-    // max_digits10 keeps keys injective: default 6-digit precision would alias
-    // points whose values differ only past the sixth significant digit.
-    os << std::setprecision(std::numeric_limits<double>::max_digits10) << value.number();
-    key += os.str();
+    if (value.is_string()) {
+      // String axes (e.g. churn-model) key on the literal label.
+      key += value.str();
+    } else {
+      std::ostringstream os;
+      // max_digits10 keeps keys injective: default 6-digit precision would
+      // alias points whose values differ only past the sixth significant digit.
+      os << std::setprecision(std::numeric_limits<double>::max_digits10) << value.number();
+      key += os.str();
+    }
   }
   return key;
 }

@@ -14,6 +14,7 @@
 #ifndef SRC_HARNESS_CHURN_H_
 #define SRC_HARNESS_CHURN_H_
 
+#include <string>
 #include <vector>
 
 #include "src/overlay/control_tree.h"
@@ -32,6 +33,72 @@ ChurnPlan PlanLeafFailures(const ControlTree& tree, NodeId source, int count, Rn
 
 // Schedules the failures on the network's event queue.
 void ScheduleChurn(Network& net, const ChurnPlan& plan);
+
+// --- generator interface (workload_gen.h family) ---
+//
+// A ChurnModel turns the assembled workload (topology + per-session trees and
+// member sets) into a failure schedule, drawn deterministically from the rng
+// stream the harness derives from the workload seed. WorkloadExperiment routes
+// every event through its departure path: Network::FailNode plus the owning
+// session's completion-policy credit, so churned sessions still terminate.
+
+struct ChurnEvent {
+  NodeId node = -1;
+  SimTime at = 0;  // absolute simulation time
+};
+
+// Read-only view of the workload a churn model schedules over.
+struct ChurnContext {
+  struct SessionView {
+    const ControlTree* tree = nullptr;
+    NodeId source = -1;
+    const std::vector<NodeId>* members = nullptr;  // normalized member list
+  };
+  const Topology* topology = nullptr;
+  std::vector<SessionView> sessions;
+};
+
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  // Reporting label ("leaf", "stub", "gateway").
+  virtual std::string name() const = 0;
+  // The failure schedule. Implementations must never target a session source.
+  virtual std::vector<ChurnEvent> Schedule(const ChurnContext& ctx, Rng& rng) const = 0;
+};
+
+// PlanLeafFailures/ScheduleChurn as a generator: per session (in order), up to
+// `count` control-tree leaves die, one every `interval` starting at
+// `first_kill` (the kill clock is shared across sessions).
+class LeafFailureChurn final : public ChurnModel {
+ public:
+  explicit LeafFailureChurn(int count, SimTime first_kill = SecToSim(15.0),
+                           SimTime interval = SecToSim(10.0));
+  std::string name() const override { return "leaf"; }
+  std::vector<ChurnEvent> Schedule(const ChurnContext& ctx, Rng& rng) const override;
+
+ private:
+  int count_;
+  SimTime first_kill_;
+  SimTime interval_;
+};
+
+// Topology-correlated outage over a transit-stub RoutedTopology: at `at`, every
+// session member attached under one stub domain (kStubDomain) — or under every
+// stub domain of one transit router (kGatewayRouter) — fails at once. The
+// victim domain is chosen uniformly among domains that contain at least one
+// member and no session source. Requires a TransitStub-built topology.
+class CorrelatedFailureChurn final : public ChurnModel {
+ public:
+  enum class Scope { kStubDomain, kGatewayRouter };
+  CorrelatedFailureChurn(Scope scope, SimTime at);
+  std::string name() const override;
+  std::vector<ChurnEvent> Schedule(const ChurnContext& ctx, Rng& rng) const override;
+
+ private:
+  Scope scope_;
+  SimTime at_;
+};
 
 }  // namespace bullet
 

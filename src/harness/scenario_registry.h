@@ -41,9 +41,60 @@ struct ScenarioOptions {
   // Fraction of receivers that join late in staggered-join scenarios
   // (fig18_flash_crowd); ignored by everyone-at-t0 scenarios.
   std::optional<double> join_fraction;
+  // Pareto tail index for lifetime-churn scenarios (fig21_churn_lifetimes);
+  // ignored by scenarios without lifetime generators.
+  std::optional<double> lifetime_pareto_alpha;
+  // Churn model selector ("none", "leaf", "stub", "gateway") for scenarios
+  // that honor it (fig22_correlated_failures); others ignore it.
+  std::optional<std::string> churn_model;
 };
 
-// Applies the generic overrides onto a scenario's default config.
+class JsonWriter;
+
+// One row per generic scenario option. The bullet_run flag parser, the sweep
+// engine's axis validation/application and the requested_options JSON echo all
+// walk this table, so registering an option here is the single step that makes
+// it a CLI flag, a sweep axis (when sweepable) and a serialized override.
+struct ScenarioOptionDef {
+  enum class Kind { kNumber, kString };
+
+  const char* flag;      // CLI flag, e.g. "--nodes"
+  const char* key;       // canonical sweep/set key, e.g. "nodes"
+  // requested_options field name; nullptr = parsed but never echoed (--loss
+  // has always been omitted from the echo and committed baselines pin that).
+  const char* json_key;
+  Kind kind = Kind::kNumber;
+  bool sweepable = false;
+  // CLI parse/validation failure message ("--nodes requires an integer ...").
+  const char* flag_error;
+  // Sweep-axis validation failure message ("nodes values must be ...");
+  // nullptr for non-sweepable options.
+  const char* axis_error;
+  // Parses raw flag text, validates, stores into *opts. May write a dynamic
+  // message to *error (e.g. --system listing the live protocol registry);
+  // callers fall back to flag_error when *error stays empty.
+  bool (*parse)(const std::string& text, ScenarioOptions* opts, std::string* error);
+  // Numeric sweep axes: range check and application. Null for string/non-
+  // sweepable options.
+  bool (*validate_number)(double value);
+  void (*apply_number)(double value, ScenarioOptions* opts);
+  // Applies the stored option onto a scenario config (the ApplyScenarioOptions
+  // step); no-ops when the option is unset.
+  void (*apply_config)(const ScenarioOptions& opts, ScenarioConfig* cfg);
+  // Emits the option into the requested_options object when set; null for
+  // never-echoed options (json_key == nullptr).
+  void (*echo)(const ScenarioOptions& opts, JsonWriter* json);
+};
+
+// The table, in requested_options emission order.
+const std::vector<ScenarioOptionDef>& ScenarioOptionTable();
+// nullptr when no row has that canonical key.
+const ScenarioOptionDef* FindScenarioOptionByKey(const std::string& key);
+// Comma-joined canonical keys of the sweepable rows (for error messages).
+std::string SweepableOptionKeys();
+
+// Applies the generic overrides onto a scenario's default config (walks the
+// option table's apply_config hooks).
 void ApplyScenarioOptions(const ScenarioOptions& opts, ScenarioConfig* cfg);
 
 // Paper file size scaled by REPRO_SCALE (ci: 20%, full: 100%).

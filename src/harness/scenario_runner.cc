@@ -70,99 +70,22 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
         args.error = "--out requires a path";
         return args;
       }
-    } else if (MatchesFlag(arg, "--nodes")) {
+    } else if (const ScenarioOptionDef* def = [&arg]() -> const ScenarioOptionDef* {
+                 for (const ScenarioOptionDef& d : ScenarioOptionTable()) {
+                   if (MatchesFlag(arg, d.flag)) {
+                     return &d;
+                   }
+                 }
+                 return nullptr;
+               }()) {
       std::string text;
-      int64_t v = 0;
-      if (!ConsumeString(argc, argv, &i, arg, "--nodes", &text) || !ParseStrictInt64(text, &v) ||
-          v < 2 || v > 1000000) {
+      std::string error;
+      if (!ConsumeString(argc, argv, &i, arg, def->flag, &text) ||
+          !def->parse(text, &args.options, &error)) {
         args.ok = false;
-        args.error = "--nodes requires an integer in [2, 1000000]";
+        args.error = error.empty() ? def->flag_error : error;
         return args;
       }
-      args.options.nodes = static_cast<int>(v);
-    } else if (MatchesFlag(arg, "--file-mb")) {
-      std::string text;
-      double v = 0.0;
-      if (!ConsumeString(argc, argv, &i, arg, "--file-mb", &text) || !ParseStrictDouble(text, &v) ||
-          v <= 0.0) {
-        args.ok = false;
-        args.error = "--file-mb requires a positive number";
-        return args;
-      }
-      args.options.file_mb = v;
-    } else if (MatchesFlag(arg, "--seed")) {
-      std::string text;
-      uint64_t v = 0;
-      if (!ConsumeString(argc, argv, &i, arg, "--seed", &text) || !ParseStrictUint64(text, &v)) {
-        args.ok = false;
-        args.error = "--seed requires a non-negative integer";
-        return args;
-      }
-      args.options.seed = v;
-    } else if (MatchesFlag(arg, "--block-bytes")) {
-      std::string text;
-      int64_t v = 0;
-      if (!ConsumeString(argc, argv, &i, arg, "--block-bytes", &text) || !ParseStrictInt64(text, &v) ||
-          v < 512) {
-        args.ok = false;
-        args.error = "--block-bytes requires an integer >= 512";
-        return args;
-      }
-      args.options.block_bytes = v;
-    } else if (MatchesFlag(arg, "--deadline-sec")) {
-      std::string text;
-      double v = 0.0;
-      if (!ConsumeString(argc, argv, &i, arg, "--deadline-sec", &text) ||
-          !ParseStrictDouble(text, &v) || v <= 0.0) {
-        args.ok = false;
-        args.error = "--deadline-sec requires a positive number";
-        return args;
-      }
-      args.options.deadline_sec = v;
-    } else if (MatchesFlag(arg, "--topology")) {
-      std::string text;
-      ScenarioConfig::Topo topo;
-      if (!ConsumeString(argc, argv, &i, arg, "--topology", &text) ||
-          !ParseTopologyName(text, &topo)) {
-        args.ok = false;
-        args.error = "--topology requires 'mesh' or 'transit-stub'";
-        return args;
-      }
-      args.options.topology = text;
-    } else if (MatchesFlag(arg, "--system")) {
-      std::string text;
-      EnsureBuiltinProtocolsRegistered();
-      if (!ConsumeString(argc, argv, &i, arg, "--system", &text) ||
-          ProtocolRegistry::Global().Find(text) == nullptr) {
-        args.ok = false;
-        std::string known;
-        for (const ProtocolRegistry::Entry* entry : ProtocolRegistry::Global().List()) {
-          known += known.empty() ? entry->key : ", " + entry->key;
-        }
-        args.error = "--system requires a registered protocol (" + known + ")";
-        return args;
-      }
-      args.options.system = text;
-    } else if (MatchesFlag(arg, "--join-fraction")) {
-      std::string text;
-      double v = 0.0;
-      if (!ConsumeString(argc, argv, &i, arg, "--join-fraction", &text) ||
-          !ParseStrictDouble(text, &v) || v < 0.0 || v > 1.0) {
-        args.ok = false;
-        args.error = "--join-fraction requires a number in [0, 1]";
-        return args;
-      }
-      args.options.join_fraction = v;
-    } else if (MatchesFlag(arg, "--loss")) {
-      std::string text;
-      double v = 0.0;
-      if (!ConsumeString(argc, argv, &i, arg, "--loss", &text) || !ParseStrictDouble(text, &v) ||
-          v < 0.0 || v > 1.0) {
-        args.ok = false;
-        args.error = "--loss requires a number in [0, 1]";
-        return args;
-      }
-      args.options.loss = v;
     } else if (MatchesFlag(arg, "--sweep")) {
       std::string text;
       SweepAxis axis;
@@ -238,31 +161,14 @@ void WriteReportJson(std::ostream& os, const ScenarioReport& report,
 
   // The overrides as requested on the command line. Scenarios with fixed setups
   // (e.g. fig12's 8-node topology, fig15's delta bundle) may ignore overrides that
-  // do not apply to them, so this records the request, not a guarantee.
+  // do not apply to them, so this records the request, not a guarantee. Emission
+  // order is the option table's row order; rows without a json_key (--loss) are
+  // never echoed — committed baselines pin both properties.
   json.Key("requested_options").BeginObject();
-  if (options.nodes) {
-    json.Field("nodes", *options.nodes);
-  }
-  if (options.file_mb) {
-    json.Field("file_mb", *options.file_mb);
-  }
-  if (options.seed) {
-    json.Field("seed", *options.seed);
-  }
-  if (options.block_bytes) {
-    json.Field("block_bytes", *options.block_bytes);
-  }
-  if (options.deadline_sec) {
-    json.Field("deadline_sec", *options.deadline_sec);
-  }
-  if (options.topology) {
-    json.Field("topology", *options.topology);
-  }
-  if (options.system) {
-    json.Field("system", *options.system);
-  }
-  if (options.join_fraction) {
-    json.Field("join_fraction", *options.join_fraction);
+  for (const ScenarioOptionDef& def : ScenarioOptionTable()) {
+    if (def.echo != nullptr) {
+      def.echo(options, &json);
+    }
   }
   json.EndObject();
 
@@ -329,6 +235,11 @@ void PrintRunnerUsage(std::ostream& os) {
         "                     splitstream); fixed-roster comparison scenarios ignore it\n"
         "  --join-fraction F  fraction of receivers joining late in staggered-join\n"
         "                     scenarios (fig18_flash_crowd); others ignore it\n"
+        "  --lifetime-pareto-alpha A\n"
+        "                     Pareto tail index for lifetime-churn scenarios\n"
+        "                     (fig21_churn_lifetimes); others ignore it\n"
+        "  --churn-model M    none | leaf | stub | gateway — churn model for\n"
+        "                     scenarios that honor it (fig22_correlated_failures)\n"
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
@@ -336,8 +247,9 @@ void PrintRunnerUsage(std::ostream& os) {
         "sweep mode (runs scenario × cartesian grid × repeats on a worker pool;\n"
         "aggregate JSON is byte-identical for a given spec regardless of --jobs):\n"
         "  --sweep key=v1,..  one grid axis (nodes, file-mb, block-bytes,\n"
-        "                     deadline-sec, loss, join-fraction); repeat the flag\n"
-        "                     for more axes\n"
+        "                     deadline-sec, loss, join-fraction,\n"
+        "                     lifetime-pareto-alpha, churn-model); repeat the\n"
+        "                     flag for more axes\n"
         "  --sweep-file PATH  spec file (scenario/name/repeats/seed/set/sweep lines);\n"
         "                     command-line flags override file directives\n"
         "  --repeats R        runs per grid point (default 1)\n"
@@ -412,6 +324,12 @@ bool BuildSweepSpec(const RunnerArgs& args, SweepSpec* spec, std::string* error)
   }
   if (o.join_fraction) {
     spec->base.join_fraction = o.join_fraction;
+  }
+  if (o.lifetime_pareto_alpha) {
+    spec->base.lifetime_pareto_alpha = o.lifetime_pareto_alpha;
+  }
+  if (o.churn_model) {
+    spec->base.churn_model = o.churn_model;
   }
   if (o.seed) {
     spec->base_seed = *o.seed;

@@ -3,35 +3,9 @@
 #include <memory>
 #include <utility>
 
+#include "src/harness/workload_gen.h"
+
 namespace bullet {
-
-const char* SystemName(System system) {
-  switch (system) {
-    case System::kBulletPrime:
-      return "BulletPrime";
-    case System::kBulletLegacy:
-      return "Bullet";
-    case System::kBitTorrent:
-      return "BitTorrent";
-    case System::kSplitStream:
-      return "SplitStream";
-  }
-  return "?";
-}
-
-const char* ProtocolKeyForSystem(System system) {
-  switch (system) {
-    case System::kBulletPrime:
-      return "bullet-prime";
-    case System::kBulletLegacy:
-      return "bullet";
-    case System::kBitTorrent:
-      return "bittorrent";
-    case System::kSplitStream:
-      return "splitstream";
-  }
-  return "?";
-}
 
 std::string ScenarioSystemOr(const ScenarioConfig& cfg, const std::string& fallback) {
   return cfg.system.empty() ? fallback : cfg.system;
@@ -101,7 +75,18 @@ WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec
   params.skip_idle_ticks = cfg.skip_idle_ticks;
   params.quantum = cfg.quantum;
 
-  WorkloadExperiment exp(BuildScenarioTopology(cfg), params);
+  std::unique_ptr<Topology> topology = BuildScenarioTopology(cfg);
+  if (workload.access_links != nullptr) {
+    // Access-link cohorts rewrite per-node link parameters before the network
+    // snapshots the topology; the stream is decorrelated from the topology
+    // builder's (same base seed, different salt).
+    Rng access_rng(cfg.seed ^ 0xa0761d6478bd642fULL);
+    workload.access_links->Apply(*topology, access_rng);
+  }
+  WorkloadExperiment exp(std::move(topology), params);
+  if (workload.churn != nullptr) {
+    exp.SetChurnModel(workload.churn);
+  }
   if (cfg.dynamic_bw) {
     StartPeriodicBandwidthChanges(exp.net(), BandwidthDynamicsParams{});
   }
@@ -135,21 +120,24 @@ ScenarioResult ToScenarioResult(const SessionResult& session, int32_t max_shared
 
 ScenarioResult RunScenario(const std::string& protocol, const ScenarioConfig& cfg,
                            const BulletPrimeConfig& bp) {
+  EnsureBuiltinProtocolsRegistered();
   WorkloadSpec workload;
   SessionSpec session;
   session.protocol = protocol;
   session.source = 0;
   session.seed = cfg.seed;
-  // Applies when the protocol resolves to Bullet'; other factories fall back
-  // to their own defaults, matching the historical enum dispatch.
-  session.protocol_config = bp;
+  // `bp` applies only when the protocol actually takes a BulletPrimeConfig —
+  // the registry now declares each protocol's config type and the harness
+  // rejects mismatches, so attaching it unconditionally would abort for the
+  // baselines (the historical enum dispatch just let them ignore it).
+  const ProtocolRegistry::Entry* entry = ProtocolRegistry::Global().Find(protocol);
+  if (entry != nullptr && entry->config_type != nullptr &&
+      *entry->config_type == typeid(BulletPrimeConfig)) {
+    session.protocol_config = bp;
+  }
   workload.sessions.push_back(std::move(session));
   const WorkloadResult r = RunScenarioWorkload(cfg, workload);
   return ToScenarioResult(r.sessions.front(), r.max_shared_link_flows);
-}
-
-ScenarioResult RunScenario(System system, const ScenarioConfig& cfg, const BulletPrimeConfig& bp) {
-  return RunScenario(ProtocolKeyForSystem(system), cfg, bp);
 }
 
 double OptimalAccessLinkSeconds(double file_mb, double access_bps) {

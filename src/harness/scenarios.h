@@ -16,23 +16,6 @@
 
 namespace bullet {
 
-// Legacy closed enumeration of the four built-in systems. Kept as a
-// convenience shim over the string-keyed ProtocolRegistry (protocol_registry.h)
-// — RunScenario(System, ...) forwards to RunScenario(key, ...) via
-// ProtocolKeyForSystem. New code (and anything configurable from the CLI's
-// --system flag) should use registry keys directly.
-enum class System {
-  kBulletPrime,
-  kBulletLegacy,
-  kBitTorrent,
-  kSplitStream,
-};
-
-const char* SystemName(System system);
-// The ProtocolRegistry key for an enum value ("bullet-prime", "bullet",
-// "bittorrent", "splitstream").
-const char* ProtocolKeyForSystem(System system);
-
 struct ScenarioConfig {
   enum class Topo {
     kMesh,         // Section 4.1: 6 Mbps access, 2 Mbps core, 5-200 ms, random loss
@@ -78,6 +61,12 @@ struct ScenarioConfig {
   // Fraction of receivers joining late in staggered-join scenarios; < 0 keeps
   // the scenario's default.
   double join_fraction = -1.0;
+  // Pareto tail index for lifetime-churn scenarios (fig21); < 0 keeps the
+  // scenario's default. Smaller alpha = heavier tail.
+  double lifetime_pareto_alpha = -1.0;
+  // Churn model requested via --churn-model for scenarios that honor it
+  // ("none", "leaf", "stub", "gateway"); empty keeps the scenario's default.
+  std::string churn_model;
 };
 
 struct ScenarioResult {
@@ -106,10 +95,11 @@ bool ParseTopologyName(const std::string& name, ScenarioConfig::Topo* topo);
 // session (the legacy shape). `protocol` is a ProtocolRegistry key; `bp`
 // applies when it resolves to Bullet'. Unknown keys abort (callers reaching
 // this from the CLI validate against the registry first).
+//
+// The enum overload RunScenario(System, ...) is gone along with the System
+// enum itself — pass the registry key ("bullet-prime", "bullet", "bittorrent",
+// "splitstream") directly.
 ScenarioResult RunScenario(const std::string& protocol, const ScenarioConfig& cfg,
-                           const BulletPrimeConfig& bp = BulletPrimeConfig{});
-// Legacy enum shim; forwards through ProtocolKeyForSystem.
-ScenarioResult RunScenario(System system, const ScenarioConfig& cfg,
                            const BulletPrimeConfig& bp = BulletPrimeConfig{});
 
 // The scenario-level knob for --system: the requested registry key when set,
@@ -124,8 +114,11 @@ std::string ScenarioSubsetSystemOr(const ScenarioConfig& cfg, const std::string&
 // Runs an arbitrary workload (N sessions with join schedules) over the
 // scenario's topology, dynamics and network knobs. Sessions whose FileParams
 // have num_blocks == 0 inherit the scenario file sizing (cfg.file_mb /
-// cfg.block_bytes); cfg.force_encoded applies to every session. This is what
-// RunScenario wraps, and what the session scenarios (fig18+) call directly.
+// cfg.block_bytes); cfg.force_encoded applies to every session. Workload-level
+// generators are honored here: `access_links` mutates the freshly built
+// topology (before the network snapshots it) and `churn` is installed on the
+// experiment. This is what RunScenario wraps, and what the session scenarios
+// (fig18+) call directly.
 WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec& workload);
 
 // Converts one session's results to the legacy per-system ScenarioResult shape.

@@ -18,48 +18,28 @@
 namespace bullet {
 namespace {
 
-bool IsIntegral(double v) { return v == std::floor(v); }
+// Resolves a sweep key against the scenario option table; writes the standard
+// unknown-key message (listing the sweepable keys) when it does not resolve.
+const ScenarioOptionDef* FindSweepableOption(const std::string& key, std::string* error) {
+  const ScenarioOptionDef* def = FindScenarioOptionByKey(key);
+  if (def == nullptr || !def->sweepable) {
+    *error = "unknown sweep key '" + key + "' (supported: " + SweepableOptionKeys() + ")";
+    return nullptr;
+  }
+  return def;
+}
 
-// Validates one axis value against the same ranges the CLI enforces, so a sweep
-// cannot construct configurations a single run would reject.
-bool ValidateParam(const std::string& key, double value, std::string* error) {
-  if (key == "nodes") {
-    if (!IsIntegral(value) || value < 2 || value > 1000000) {
-      *error = "nodes values must be integers in [2, 1000000]";
-      return false;
-    }
-  } else if (key == "file-mb") {
-    if (value <= 0.0) {
-      *error = "file-mb values must be positive";
-      return false;
-    }
-  } else if (key == "block-bytes") {
-    if (!IsIntegral(value) || value < 512) {
-      *error = "block-bytes values must be integers >= 512";
-      return false;
-    }
-  } else if (key == "deadline-sec") {
-    if (value <= 0.0) {
-      *error = "deadline-sec values must be positive";
-      return false;
-    }
-  } else if (key == "loss") {
-    if (value < 0.0 || value > 1.0) {
-      *error = "loss values must be in [0, 1]";
-      return false;
-    }
-  } else if (key == "join-fraction") {
-    if (value < 0.0 || value > 1.0) {
-      *error = "join-fraction values must be in [0, 1]";
-      return false;
-    }
-  } else {
-    *error = "unknown sweep key '" + key +
-             "' (supported: nodes, file-mb, block-bytes, deadline-sec, loss, join-fraction)";
+// Validates one numeric axis value against the same ranges the CLI enforces,
+// so a sweep cannot construct configurations a single run would reject.
+bool ValidateParam(const ScenarioOptionDef& def, double value, std::string* error) {
+  if (def.kind != ScenarioOptionDef::Kind::kNumber || !def.validate_number(value)) {
+    *error = def.axis_error;
     return false;
   }
   return true;
 }
+
+bool IsIntegral(double v) { return v == std::floor(v); }
 
 }  // namespace
 
@@ -82,6 +62,11 @@ bool ParseSweepAxisSpec(const std::string& text, SweepAxis* axis, std::string* e
   }
   SweepAxis parsed;
   parsed.key = text.substr(0, eq);
+  const ScenarioOptionDef* def = FindSweepableOption(parsed.key, error);
+  if (def == nullptr) {
+    return false;
+  }
+  const bool is_string = def->kind == ScenarioOptionDef::Kind::kString;
 
   std::string values = text.substr(eq + 1);
   size_t start = 0;
@@ -89,29 +74,45 @@ bool ParseSweepAxisSpec(const std::string& text, SweepAxis* axis, std::string* e
     const size_t comma = values.find(',', start);
     const std::string item =
         values.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
-    double v = 0.0;
-    if (!ParseStrictDouble(item, &v)) {
-      *error = "bad value '" + item + "' for sweep axis '" + parsed.key + "'";
-      return false;
-    }
-    if (!ValidateParam(parsed.key, v, error)) {
-      return false;
-    }
-    // A repeated value would silently run the same grid point twice under two
-    // point indices (distinct derived seeds), which is almost always a typo.
-    for (const double prev : parsed.values) {
-      if (prev == v) {
-        *error = "duplicate value '" + item + "' in sweep axis '" + parsed.key + "'";
+    if (is_string) {
+      ScenarioOptions dummy;
+      std::string parse_error;
+      if (item.empty() || !def->parse(item, &dummy, &parse_error)) {
+        *error = def->axis_error;
         return false;
       }
+      // A repeated value would silently run the same grid point twice under
+      // two point indices (distinct derived seeds) — almost always a typo.
+      for (const std::string& prev : parsed.text_values) {
+        if (prev == item) {
+          *error = "duplicate value '" + item + "' in sweep axis '" + parsed.key + "'";
+          return false;
+        }
+      }
+      parsed.text_values.push_back(item);
+    } else {
+      double v = 0.0;
+      if (!ParseStrictDouble(item, &v)) {
+        *error = "bad value '" + item + "' for sweep axis '" + parsed.key + "'";
+        return false;
+      }
+      if (!ValidateParam(*def, v, error)) {
+        return false;
+      }
+      for (const double prev : parsed.values) {
+        if (prev == v) {
+          *error = "duplicate value '" + item + "' in sweep axis '" + parsed.key + "'";
+          return false;
+        }
+      }
+      parsed.values.push_back(v);
     }
-    parsed.values.push_back(v);
     if (comma == std::string::npos) {
       break;
     }
     start = comma + 1;
   }
-  if (parsed.values.empty()) {
+  if (parsed.size() == 0) {
     *error = "sweep axis '" + parsed.key + "' has no values";
     return false;
   }
@@ -171,10 +172,14 @@ bool ParseSweepFile(std::istream& in, SweepSpec* spec, std::string* error) {
     } else if (directive == "set") {
       SweepAxis axis;
       std::string axis_error;
-      if (!ParseSweepAxisSpec(rest, &axis, &axis_error) || axis.values.size() != 1) {
+      if (!ParseSweepAxisSpec(rest, &axis, &axis_error) || axis.size() != 1) {
         return fail(axis_error.empty() ? "set needs exactly one key=value" : axis_error);
       }
-      ApplySweepParam(axis.key, axis.values[0], &spec->base);
+      if (axis.is_string()) {
+        ApplySweepParamText(axis.key, axis.text_values[0], &spec->base);
+      } else {
+        ApplySweepParam(axis.key, axis.values[0], &spec->base);
+      }
     } else if (directive == "sweep") {
       SweepAxis axis;
       std::string axis_error;
@@ -195,22 +200,22 @@ bool ParseSweepFile(std::istream& in, SweepSpec* spec, std::string* error) {
 }
 
 bool ApplySweepParam(const std::string& key, double value, ScenarioOptions* options) {
-  if (key == "nodes") {
-    options->nodes = static_cast<int>(value);
-  } else if (key == "file-mb") {
-    options->file_mb = value;
-  } else if (key == "block-bytes") {
-    options->block_bytes = static_cast<int64_t>(value);
-  } else if (key == "deadline-sec") {
-    options->deadline_sec = value;
-  } else if (key == "loss") {
-    options->loss = value;
-  } else if (key == "join-fraction") {
-    options->join_fraction = value;
-  } else {
+  const ScenarioOptionDef* def = FindScenarioOptionByKey(key);
+  if (def == nullptr || !def->sweepable || def->apply_number == nullptr) {
     return false;
   }
+  def->apply_number(value, options);
   return true;
+}
+
+bool ApplySweepParamText(const std::string& key, const std::string& value,
+                         ScenarioOptions* options) {
+  const ScenarioOptionDef* def = FindScenarioOptionByKey(key);
+  if (def == nullptr || !def->sweepable || def->kind != ScenarioOptionDef::Kind::kString) {
+    return false;
+  }
+  std::string error;
+  return def->parse(value, options, &error);
 }
 
 bool FindDuplicateAxisKey(const std::vector<SweepAxis>& axes, std::string* key) {
@@ -228,7 +233,7 @@ bool FindDuplicateAxisKey(const std::vector<SweepAxis>& axes, std::string* key) 
 std::vector<SweepPoint> ExpandSweepGrid(const SweepSpec& spec) {
   size_t grid = 1;
   for (const SweepAxis& axis : spec.axes) {
-    grid *= axis.values.size();
+    grid *= axis.size();
   }
   std::vector<SweepPoint> points;
   points.reserve(grid * static_cast<size_t>(spec.repeats));
@@ -237,8 +242,8 @@ std::vector<SweepPoint> ExpandSweepGrid(const SweepSpec& spec) {
     // Decode `cell` into per-axis indices, axis 0 slowest (row-major).
     size_t rem = cell;
     for (size_t a = spec.axes.size(); a-- > 0;) {
-      idx[a] = rem % spec.axes[a].values.size();
-      rem /= spec.axes[a].values.size();
+      idx[a] = rem % spec.axes[a].size();
+      rem /= spec.axes[a].size();
     }
     for (int r = 0; r < spec.repeats; ++r) {
       SweepPoint p;
@@ -247,9 +252,17 @@ std::vector<SweepPoint> ExpandSweepGrid(const SweepSpec& spec) {
       p.seed = DeriveSweepSeed(spec.base_seed, p.point_index, r);
       p.options = spec.base;
       for (size_t a = 0; a < spec.axes.size(); ++a) {
-        const double v = spec.axes[a].values[idx[a]];
-        p.params.emplace_back(spec.axes[a].key, v);
-        ApplySweepParam(spec.axes[a].key, v, &p.options);
+        const SweepAxis& axis = spec.axes[a];
+        SweepParamValue value;
+        if (axis.is_string()) {
+          value.is_string = true;
+          value.text = axis.text_values[idx[a]];
+          ApplySweepParamText(axis.key, value.text, &p.options);
+        } else {
+          value.number = axis.values[idx[a]];
+          ApplySweepParam(axis.key, value.number, &p.options);
+        }
+        p.params.emplace_back(axis.key, std::move(value));
       }
       p.options.seed = p.seed;
       points.push_back(std::move(p));
@@ -375,8 +388,14 @@ void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome) {
     json.BeginObject();
     json.Field("key", axis.key);
     json.Key("values").BeginArray();
-    for (const double v : axis.values) {
-      json.Number(v);
+    if (axis.is_string()) {
+      for (const std::string& v : axis.text_values) {
+        json.String(v);
+      }
+    } else {
+      for (const double v : axis.values) {
+        json.Number(v);
+      }
     }
     json.EndArray();
     json.EndObject();
@@ -391,7 +410,11 @@ void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome) {
     json.Field("point_index", static_cast<int64_t>(first.point.point_index));
     json.Key("params").BeginObject();
     for (const auto& [key, value] : first.point.params) {
-      json.Field(key, value);
+      if (value.is_string) {
+        json.Field(key, value.text);
+      } else {
+        json.Field(key, value.number);
+      }
     }
     json.EndObject();
     json.Key("seeds").BeginArray();

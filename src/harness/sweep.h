@@ -24,12 +24,17 @@
 
 namespace bullet {
 
-// One grid dimension: a canonical parameter key and its value list.
-// Supported keys mirror the single-run override flags: nodes, file-mb,
-// block-bytes, deadline-sec, loss.
+// One grid dimension: a canonical parameter key and its value list. Supported
+// keys are the sweepable rows of the scenario option table (scenario_registry);
+// numeric axes fill `values`, string axes (e.g. churn-model) fill
+// `text_values` — exactly one of the two is non-empty.
 struct SweepAxis {
   std::string key;
   std::vector<double> values;
+  std::vector<std::string> text_values;
+
+  bool is_string() const { return !text_values.empty(); }
+  size_t size() const { return is_string() ? text_values.size() : values.size(); }
 };
 
 // Scenario × parameter grid × repeats. `base` carries fixed overrides that apply
@@ -45,13 +50,20 @@ struct SweepSpec {
   std::string OutputName() const { return name.empty() ? scenario : name; }
 };
 
+// One axis assignment at a grid point: numeric or string, mirroring SweepAxis.
+struct SweepParamValue {
+  double number = 0.0;
+  std::string text;  // set for string axes
+  bool is_string = false;
+};
+
 // One cell of the expanded grid × repeat plan.
 struct SweepPoint {
   int point_index = 0;  // grid cell, repeats excluded
   int repeat = 0;
   uint64_t seed = 0;    // DeriveSweepSeed(base_seed, point_index, repeat)
   // Axis assignments in axis-declaration order (stable for JSON output).
-  std::vector<std::pair<std::string, double>> params;
+  std::vector<std::pair<std::string, SweepParamValue>> params;
   ScenarioOptions options;  // base + params + seed, ready to hand to a scenario
 };
 
@@ -106,9 +118,12 @@ bool FindDuplicateAxisKey(const std::vector<SweepAxis>& axes, std::string* key);
 // Axis keys must be unique (see FindDuplicateAxisKey).
 std::vector<SweepPoint> ExpandSweepGrid(const SweepSpec& spec);
 
-// Applies one canonical-key parameter (a SweepAxis value) onto options. Returns
-// false on an unknown key.
+// Applies one canonical-key numeric parameter (a SweepAxis value) onto
+// options. Returns false on an unknown or non-numeric key.
 bool ApplySweepParam(const std::string& key, double value, ScenarioOptions* options);
+// String-axis counterpart (e.g. churn-model=stub).
+bool ApplySweepParamText(const std::string& key, const std::string& value,
+                         ScenarioOptions* options);
 
 // Runs every grid point through the registry's scenario on `jobs` worker threads
 // (jobs <= 0 picks hardware concurrency). Blocks until all runs finish.

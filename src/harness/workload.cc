@@ -8,6 +8,7 @@
 #include "src/baselines/splitstream.h"
 #include "src/common/logging.h"
 #include "src/core/bullet_prime.h"
+#include "src/harness/workload_gen.h"
 
 namespace bullet {
 
@@ -82,6 +83,28 @@ int WorkloadExperiment::AddSessionImpl(SessionSpec spec, const ProtocolRegistry:
   }
   const size_t num_members = spec.members.size();
   BULLET_CHECK(num_members >= 2 && "a session needs a source and at least one receiver");
+  // Resolved before arrivals expansion so the generator stream derives from
+  // the same value the session would have been assigned anyway.
+  const uint64_t session_seed = spec.seed ? *spec.seed : DeriveSessionSeed(params_.seed, index);
+  if (spec.arrivals != nullptr) {
+    BULLET_CHECK(spec.join_offsets.empty() &&
+                 "an arrivals generator and explicit join_offsets are mutually exclusive");
+    Rng arrivals_rng(session_seed ^ 0x5bd1e995a1b2c3d4ULL);
+    const std::vector<SimTime> offsets =
+        spec.arrivals->Offsets(num_members - 1, arrivals_rng);
+    BULLET_CHECK(offsets.size() == num_members - 1 &&
+                 "ArrivalProcess::Offsets must return one offset per receiver");
+    spec.join_offsets.assign(num_members, 0);
+    size_t r = 0;
+    for (size_t i = 0; i < num_members; ++i) {
+      if (spec.members[i] == spec.source) {
+        continue;  // the source keeps offset zero (validated as a member below)
+      }
+      BULLET_CHECK(r < offsets.size() && "the source must be a session member");
+      BULLET_CHECK(offsets[r] >= 0 && "arrival offsets must be non-negative");
+      spec.join_offsets[i] = offsets[r++];
+    }
+  }
   if (spec.join_offsets.empty()) {
     spec.join_offsets.assign(num_members, 0);
   }
@@ -92,10 +115,18 @@ int WorkloadExperiment::AddSessionImpl(SessionSpec spec, const ProtocolRegistry:
     // Section 4.2 methodology: this system always runs over an encoded stream.
     spec.file.encoded = true;
   }
+  if (entry != nullptr && spec.protocol_config.has_value()) {
+    // Catch config mismatches here with the registry's declared type instead
+    // of a bad_any_cast (or a silent default) deep inside the factory.
+    BULLET_CHECK(entry->config_type != nullptr &&
+                 "this protocol takes no config but protocol_config is set");
+    BULLET_CHECK(spec.protocol_config.type() == *entry->config_type &&
+                 "protocol_config holds the wrong type for this protocol");
+  }
 
   sessions_.emplace_back();
   Session& s = sessions_.back();
-  s.seed = spec.seed ? *spec.seed : DeriveSessionSeed(params_.seed, index);
+  s.seed = session_seed;
   spec.seed = s.seed;
   s.spec = std::move(spec);
   const SessionSpec& sp = s.spec;
@@ -125,6 +156,24 @@ int WorkloadExperiment::AddSessionImpl(SessionSpec spec, const ProtocolRegistry:
   const SimTime earliest = *std::min_element(s.join_at.begin(), s.join_at.end());
   BULLET_CHECK(s.join_at[static_cast<size_t>(source_slot)] == earliest &&
                "the source must join no later than any other member");
+
+  // --- lifetime departures ---
+  // One draw per receiver in member order (deterministic in the session seed);
+  // the source never departs — it anchors the session.
+  s.depart_at.assign(num_members, -1);
+  if (sp.lifetimes != nullptr) {
+    Rng life_rng(s.seed ^ 0x27d4eb2f165667c5ULL);
+    for (size_t i = 0; i < num_members; ++i) {
+      if (sp.members[i] == sp.source) {
+        continue;
+      }
+      const SimTime life = sp.lifetimes->Draw(i, life_rng);
+      BULLET_CHECK(life != 0 && "lifetime draws must be positive or negative (infinite)");
+      if (life > 0) {
+        s.depart_at[i] = s.join_at[i] + life;
+      }
+    }
+  }
 
   // --- join buckets: one per distinct join time, member order within ---
   std::vector<size_t> order(num_members);
@@ -182,6 +231,18 @@ int WorkloadExperiment::AddSessionImpl(SessionSpec spec, const ProtocolRegistry:
   s.metrics->SetMembers(sp.members);
   s.metrics->SetCompletionPolicy(static_cast<int>(num_members) - 1,
                                  [this, index] { OnSessionComplete(index); });
+  if (sp.lifetimes != nullptr && sp.lifetimes->departs_after_completion()) {
+    // The "seeder departs" regime: a completed receiver stops serving `linger`
+    // after it finishes (a departure event on the queue, not an inline kill —
+    // the observer fires mid-delivery inside the protocol).
+    const SimTime linger = sp.lifetimes->post_completion_linger();
+    s.metrics->SetCompletionObserver([this, index, linger](NodeId node, SimTime t) {
+      if (node == at(index).spec.source) {
+        return;
+      }
+      net_->queue().Schedule(t + linger, [this, index, node] { DepartNode(index, node); });
+    });
+  }
   s.protocols.resize(num_members);
 
   if (entry != nullptr) {
@@ -222,6 +283,77 @@ void WorkloadExperiment::ExecuteJoinBucket(int session, size_t bucket) {
   }
 }
 
+void WorkloadExperiment::SetChurnModel(std::shared_ptr<const ChurnModel> churn) {
+  BULLET_CHECK(!ran_ && "the churn model must be installed before Run()");
+  churn_ = std::move(churn);
+}
+
+void WorkloadExperiment::DepartNode(int session, NodeId node) {
+  if (net_->IsNodeFailed(node)) {
+    return;  // lifetime expiry and churn may race; first event wins
+  }
+  Session& s = at(session);
+  if (node == s.spec.source) {
+    return;
+  }
+  net_->FailNode(node);
+  s.metrics->RecordDeparture(node, net_->now());
+  ++total_departures_;
+  // A departed straggler counts toward the target, so the session (and the
+  // run) still terminates once everyone left standing has finished.
+  s.metrics->NotifyIfAllComplete();
+}
+
+void WorkloadExperiment::ScheduleDynamics() {
+  for (int si = 0; si < static_cast<int>(sessions_.size()); ++si) {
+    Session& s = at(si);
+    for (size_t i = 0; i < s.depart_at.size(); ++i) {
+      if (s.depart_at[i] < 0) {
+        continue;
+      }
+      const NodeId node = s.spec.members[i];
+      net_->queue().Schedule(s.depart_at[i], [this, si, node] { DepartNode(si, node); });
+    }
+  }
+  if (churn_ == nullptr) {
+    return;
+  }
+  ChurnContext ctx;
+  ctx.topology = &net_->topology();
+  ctx.sessions.reserve(sessions_.size());
+  for (const Session& s : sessions_) {
+    ChurnContext::SessionView view;
+    view.tree = &s.tree;
+    view.source = s.spec.source;
+    view.members = &s.spec.members;
+    ctx.sessions.push_back(view);
+  }
+  Rng churn_rng(params_.seed ^ 0x94d049bb133111ebULL);
+  churn_events_ = churn_->Schedule(ctx, churn_rng);
+  for (const ChurnEvent& ev : churn_events_) {
+    BULLET_CHECK(ev.node >= 0 && ev.node < net_->num_nodes() && ev.at > 0 &&
+                 "churn model produced an invalid event");
+    int owner = -1;
+    for (int si = 0; si < static_cast<int>(sessions_.size()); ++si) {
+      if (at(si).member_slot[static_cast<size_t>(ev.node)] >= 0) {
+        owner = si;
+        break;
+      }
+    }
+    if (owner >= 0) {
+      const NodeId node = ev.node;
+      const int si = owner;
+      BULLET_CHECK(node != at(si).spec.source && "churn models must never kill a source");
+      net_->queue().Schedule(ev.at, [this, si, node] { DepartNode(si, node); });
+    } else {
+      // Not in any session: fail the node on the network only (background
+      // population on shared infrastructure).
+      const NodeId node = ev.node;
+      net_->queue().Schedule(ev.at, [this, node] { net_->FailNode(node); });
+    }
+  }
+}
+
 void WorkloadExperiment::OnSessionComplete(int session) {
   Session& s = at(session);
   if (s.complete) {
@@ -256,6 +388,7 @@ WorkloadResult WorkloadExperiment::Run() {
       }
     }
   }
+  ScheduleDynamics();
 
   net_->Run(params_.deadline);
 
@@ -266,6 +399,8 @@ WorkloadResult WorkloadExperiment::Run() {
   }
   result.sessions_completed = sessions_completed_;
   result.max_shared_link_flows = net_->max_interior_link_flows();
+  result.total_departures = total_departures_;
+  result.churn_events = churn_events_;
   return result;
 }
 
@@ -277,6 +412,12 @@ SessionResult WorkloadExperiment::AssembleSessionResult(const Session& s) const 
   r.control_overhead = s.metrics->ControlOverheadFraction();
   r.completed = s.metrics->completed();
   r.receivers = static_cast<int>(s.spec.members.size()) - 1;
+  r.departed_incomplete = s.metrics->departed_incomplete();
+  for (const NodeId m : s.spec.members) {
+    if (s.metrics->node(m).departed >= 0) {
+      ++r.departed;
+    }
+  }
   r.start_sec = SimToSec(s.spec.start);
   const double deadline_sec = SimToSec(params_.deadline);
   SimTime last_join = 0;

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/harness/churn.h"
 #include "src/overlay/control_tree.h"
 #include "src/overlay/protocol_registry.h"
 #include "src/overlay/session.h"
@@ -67,6 +68,11 @@ struct SessionResult {
   double control_overhead = 0.0;
   int completed = 0;
   int receivers = 0;
+  // Mid-run departures (lifetime draws, seeder departures, churn events).
+  int departed = 0;
+  // Departed receivers that never completed; the completion policy credits
+  // them so the session still terminates.
+  int departed_incomplete = 0;
   double start_sec = 0.0;      // session epoch
   double last_join_sec = 0.0;  // latest member join time
   // When every receiver finished: absolute sim seconds; -1 if the deadline hit.
@@ -78,6 +84,10 @@ struct WorkloadResult {
   int sessions_completed = 0;
   // Peak flows sharing one interior link across the whole run (all sessions).
   int32_t max_shared_link_flows = 0;
+  // Mid-run departures across all sessions (lifetimes + churn).
+  int total_departures = 0;
+  // The churn model's schedule as drawn for this run (empty without a model).
+  std::vector<ChurnEvent> churn_events;
 };
 
 // Registers the four built-in systems (bullet-prime, bullet, bittorrent,
@@ -104,6 +114,10 @@ class WorkloadExperiment {
   // defers the choice — install one with SetSessionFactory before Run.
   int AddSession(const SessionSpec& spec, ProtocolRegistry::NodeFactory factory);
   void SetSessionFactory(int session, ProtocolRegistry::NodeFactory factory);
+
+  // Installs a churn model whose schedule is drawn at Run() over every session
+  // (WorkloadSpec::churn; RunScenarioWorkload forwards it automatically).
+  void SetChurnModel(std::shared_ptr<const ChurnModel> churn);
 
   // Executes every session's join schedule and runs the simulation until all
   // sessions complete or the deadline passes. Call once.
@@ -142,6 +156,7 @@ class WorkloadExperiment {
     std::vector<SimTime> join_at;                // absolute, parallel to members
     std::vector<int> member_slot;                // NodeId -> member index, -1 otherwise
     std::vector<JoinBucket> buckets;             // ascending join time
+    std::vector<SimTime> depart_at;              // lifetime departures; -1 = never
     bool complete = false;
   };
 
@@ -152,6 +167,10 @@ class WorkloadExperiment {
                      ProtocolRegistry::NodeFactory factory);
   void ExecuteJoinBucket(int session, size_t bucket);
   void OnSessionComplete(int session);
+  // Fails `node` on the network and credits its session's completion policy;
+  // idempotent, and the source is never departed.
+  void DepartNode(int session, NodeId node);
+  void ScheduleDynamics();  // lifetime departures + churn schedule, pre-Run
   SessionResult AssembleSessionResult(const Session& s) const;
 
   WorkloadParams params_;
@@ -160,6 +179,9 @@ class WorkloadExperiment {
   // their session's tree and metrics across AddSession calls.
   std::deque<Session> sessions_;
   std::vector<char> member_claimed_;  // disjointness across sessions
+  std::shared_ptr<const ChurnModel> churn_;
+  std::vector<ChurnEvent> churn_events_;  // as drawn at Run()
+  int total_departures_ = 0;
   int sessions_completed_ = 0;
   bool ran_ = false;
 };

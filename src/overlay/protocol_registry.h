@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <typeinfo>
 #include <vector>
 
 #include "src/overlay/control_tree.h"
@@ -53,6 +54,12 @@ class ProtocolRegistry {
     // Scenarios with subset sessions treat a --system naming such a protocol
     // as an override that does not apply; AddSession still BULLET_CHECKs it.
     bool requires_full_span = false;
+    // The protocol's configuration type (e.g. &typeid(BulletPrimeConfig)).
+    // SessionSpec::protocol_config must be empty or hold exactly this type —
+    // the harness validates it at AddSession with a clear message, instead of
+    // a bad_any_cast (or a silent default fallback) deep inside the factory.
+    // Null means the protocol takes no config: only an empty any is accepted.
+    const std::type_info* config_type = nullptr;
     SessionFactory make;
   };
 

@@ -13,6 +13,7 @@
 #define SRC_OVERLAY_SESSION_H_
 
 #include <any>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,14 @@
 #include "src/sim/time.h"
 
 namespace bullet {
+
+// Workload generators (src/harness/workload_gen.h, src/harness/churn.h). Specs
+// hold them as shared_ptr-to-const so a spec stays a cheap value type; the
+// harness is the only layer that constructs or invokes them.
+class ArrivalProcess;
+class LifetimeModel;
+class AccessLinkDistribution;
+class ChurnModel;
 
 struct SessionSpec {
   // Reporting label; defaults to the protocol's display name when empty.
@@ -50,14 +59,28 @@ struct SessionSpec {
   std::optional<uint64_t> seed;
   // Control-tree fanout (see ExperimentParams::tree_fanout for the rationale).
   int tree_fanout = 8;
-  // Optional protocol-specific configuration. Each registered factory knows
-  // its own config type (e.g. BulletPrimeConfig) and falls back to defaults
-  // when the any is empty or holds a different type.
+  // Optional protocol-specific configuration. Must be empty or hold exactly
+  // the registered Entry::config_type (e.g. BulletPrimeConfig); the harness
+  // validates the type at AddSession time.
   std::any protocol_config;
+  // Generator-driven join schedule: synthesizes join_offsets from a
+  // seed-derived stream (mutually exclusive with explicit join_offsets; the
+  // source keeps offset zero). See workload_gen.h.
+  std::shared_ptr<const ArrivalProcess> arrivals;
+  // Generator-driven member lifetimes: receivers drawing a finite lifetime
+  // depart mid-run (network failure + completion-policy credit), and models
+  // with departs_after_completion() also leave shortly after finishing — the
+  // "seeder departs" regime. See workload_gen.h.
+  std::shared_ptr<const LifetimeModel> lifetimes;
 };
 
 struct WorkloadSpec {
   std::vector<SessionSpec> sessions;
+  // Workload-level generators: an access-link cohort distribution applied to
+  // the topology before the network is built (RunScenarioWorkload), and a
+  // churn model whose failure schedule is drawn at Run() over every session.
+  std::shared_ptr<const AccessLinkDistribution> access_links;
+  std::shared_ptr<const ChurnModel> churn;
 };
 
 }  // namespace bullet

@@ -16,6 +16,7 @@ namespace bullet {
 
 struct NodeMetrics {
   SimTime completion = -1;  // -1 until the node holds the full file
+  SimTime departed = -1;    // -1 unless the node left the session mid-run
   int64_t useful_blocks = 0;
   int64_t duplicate_blocks = 0;  // blocks received that were already held
   int64_t data_bytes_in = 0;
@@ -40,9 +41,39 @@ class RunMetrics {
     if (m.completion < 0) {
       m.completion = t;
       ++completed_;
+      if (m.departed >= 0) {
+        // Completed after departing (an in-flight delivery landed first): the
+        // node must not count toward the live target twice.
+        --departed_incomplete_;
+      }
+      if (completion_observer_) {
+        completion_observer_(n, t);
+      }
     }
   }
   int completed() const { return completed_; }
+
+  // Marks a member as departed (failed / left the overlay). Idempotent. A
+  // departure before completion shrinks the session's live receiver set: the
+  // completion policy treats departed-incomplete members as no longer owed the
+  // file, so a session whose stragglers all left still terminates.
+  void RecordDeparture(NodeId n, SimTime t) {
+    NodeMetrics& m = node(n);
+    if (m.departed < 0) {
+      m.departed = t;
+      if (m.completion < 0) {
+        ++departed_incomplete_;
+      }
+    }
+  }
+  int departed_incomplete() const { return departed_incomplete_; }
+
+  // Fired from inside RecordCompletion (once per node, at its completion
+  // instant). The workload harness uses it to schedule post-completion
+  // departures (LifetimeModel::departs_after_completion).
+  void SetCompletionObserver(std::function<void(NodeId, SimTime)> observer) {
+    completion_observer_ = std::move(observer);
+  }
 
   // --- session scoping ---
   //
@@ -68,7 +99,7 @@ class RunMetrics {
   }
   bool has_completion_policy() const { return completion_target_ >= 0; }
   bool all_complete() const {
-    return completion_target_ >= 0 && completed_ >= completion_target_;
+    return completion_target_ >= 0 && completed_ + departed_incomplete_ >= completion_target_;
   }
   void NotifyIfAllComplete() {
     if (all_complete() && on_all_complete_) {
@@ -93,8 +124,10 @@ class RunMetrics {
  private:
   std::vector<NodeMetrics> nodes_;
   int completed_ = 0;
+  int departed_incomplete_ = 0;  // departed members that never completed
   int completion_target_ = -1;  // < 0: no policy installed (legacy fallback applies)
   std::function<void()> on_all_complete_;
+  std::function<void(NodeId, SimTime)> completion_observer_;
   std::vector<NodeId> members_;  // empty: all nodes
 };
 

@@ -237,6 +237,50 @@ double Network::CurrentRateBps(ConnId conn_id, NodeId from) const {
   return idx < 0 ? 0.0 : c->dir[idx].rate_bps;
 }
 
+int Network::CountFlowsOnInteriorLink(int32_t link_id) const {
+  int flows = 0;
+  for (const ConnId id : open_conns_) {
+    const Conn* c = GetConn(id);
+    if (c == nullptr || !c->established || c->closed) {
+      continue;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (c->dir[i].queued_bytes <= 0) {
+        continue;
+      }
+      for (const int32_t interior_id : c->path[i].interior) {
+        if (interior_id == link_id) {
+          ++flows;
+          break;
+        }
+      }
+    }
+  }
+  return flows;
+}
+
+double Network::InteriorLinkAllocatedBps(int32_t link_id) const {
+  double bps = 0.0;
+  for (const ConnId id : open_conns_) {
+    const Conn* c = GetConn(id);
+    if (c == nullptr || !c->established || c->closed) {
+      continue;
+    }
+    for (int i = 0; i < 2; ++i) {
+      if (c->dir[i].queued_bytes <= 0) {
+        continue;
+      }
+      for (const int32_t interior_id : c->path[i].interior) {
+        if (interior_id == link_id) {
+          bps += c->dir[i].rate_bps;
+          break;
+        }
+      }
+    }
+  }
+  return bps;
+}
+
 void Network::FailNode(NodeId node) {
   if (IsNodeFailed(node)) {
     return;

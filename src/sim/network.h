@@ -173,6 +173,14 @@ class Network {
   // fig16_shared_bottleneck scenario asserts it exceeds 1.
   int32_t max_interior_link_flows() const { return max_interior_link_flows_; }
 
+  // Live probes over one interior link (a topology link id, e.g. a transit-stub
+  // gateway uplink): the number of busy established flows currently routed
+  // across it, and the total bandwidth the last allocation granted them. Rates
+  // reflect the most recent allocation epoch (at most one quantum stale), which
+  // is exactly the sampling granularity the emulator allocates at anyway.
+  int CountFlowsOnInteriorLink(int32_t link_id) const;
+  double InteriorLinkAllocatedBps(int32_t link_id) const;
+
   // Runs the simulation until `until` or Stop().
   void Run(SimTime until);
   void Stop() { queue_.Stop(); }

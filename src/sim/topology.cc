@@ -334,6 +334,11 @@ RoutedTopology RoutedTopology::TransitStub(const TransitStubParams& p, Rng& rng)
     }
   }
   // Stub domains: stars whose gateway router uplinks to the transit router.
+  topo.transit_stub_info_.num_transit_routers = num_transit;
+  topo.transit_stub_info_.num_stub_domains = num_stub_domains;
+  topo.transit_stub_info_.routers_per_stub = p.routers_per_stub;
+  topo.transit_stub_info_.stub_domains_per_transit_router = p.stub_domains_per_transit_router;
+  topo.transit_stub_info_.gateway_uplink_edge.reserve(static_cast<size_t>(num_stub_domains));
   std::vector<int32_t> stub_routers;
   stub_routers.reserve(static_cast<size_t>(num_stub_domains) *
                        static_cast<size_t>(p.routers_per_stub));
@@ -342,7 +347,8 @@ RoutedTopology RoutedTopology::TransitStub(const TransitStubParams& p, Rng& rng)
     for (int s = 0; s < p.stub_domains_per_transit_router; ++s) {
       const int32_t gateway = next_router;
       next_router += p.routers_per_stub;
-      topo.AddDuplexEdge(tr, gateway, LinkParams{p.transit_stub_bps, p.transit_stub_delay, 0.0});
+      topo.transit_stub_info_.gateway_uplink_edge.push_back(topo.AddDuplexEdge(
+          tr, gateway, LinkParams{p.transit_stub_bps, p.transit_stub_delay, 0.0}));
       stub_routers.push_back(gateway);
       for (int m = 1; m < p.routers_per_stub; ++m) {
         topo.AddDuplexEdge(gateway, gateway + m, LinkParams{p.stub_bps, p.stub_delay, 0.0});

@@ -50,6 +50,7 @@ struct LinkParams {
 };
 
 class MeshTopology;
+class RoutedTopology;
 
 // Abstract base: per-node access links plus a topology-specific interior.
 class Topology {
@@ -121,6 +122,10 @@ class Topology {
   // Downcast helper for mesh-specific call sites (per-pair core-link fixtures in
   // tests and the Fig. 12 cascade bench); nullptr on non-mesh topologies.
   virtual MeshTopology* AsMesh() { return nullptr; }
+  // Downcast helper for routed-specific call sites (stub-domain-aware churn
+  // models, shared-link probes); nullptr on non-routed topologies.
+  virtual RoutedTopology* AsRouted() { return nullptr; }
+  virtual const RoutedTopology* AsRouted() const { return nullptr; }
 
  protected:
   int num_nodes_;
@@ -230,6 +235,8 @@ class RoutedTopology final : public Topology {
     return edges_[static_cast<size_t>(link_id)].params;
   }
   int64_t interior_id_limit() const override { return num_edges(); }
+  RoutedTopology* AsRouted() override { return this; }
+  const RoutedTopology* AsRouted() const override { return this; }
 
   // Endpoints of an interior edge (for tests and diagnostics).
   int32_t edge_from(int32_t link_id) const { return edges_[static_cast<size_t>(link_id)].from; }
@@ -269,6 +276,37 @@ class RoutedTopology final : public Topology {
   };
   static RoutedTopology TransitStub(const TransitStubParams& params, Rng& rng);
 
+  // Structural record of a TransitStub build, kept so topology-aware drivers
+  // (correlated-failure churn, shared-link utilization probes) can map routers
+  // and overlay nodes back onto the transit/stub hierarchy. Stub domains are
+  // numbered in creation order: per transit router, then per stub slot.
+  struct TransitStubInfo {
+    int num_transit_routers = 0;
+    int num_stub_domains = 0;
+    int routers_per_stub = 0;
+    int stub_domains_per_transit_router = 0;
+    // Per stub domain: the interior link id of the transit->gateway direction
+    // of its shared gateway uplink (the reverse direction is the next id).
+    std::vector<int32_t> gateway_uplink_edge;
+
+    // The stub domain owning `router`; -1 for transit routers.
+    int stub_domain_of_router(int32_t router) const {
+      return router < num_transit_routers
+                 ? -1
+                 : static_cast<int>((router - num_transit_routers) / routers_per_stub);
+    }
+    int32_t gateway_router(int stub_domain) const {
+      return num_transit_routers + stub_domain * routers_per_stub;
+    }
+    int32_t transit_router(int stub_domain) const {
+      return stub_domain / stub_domains_per_transit_router;
+    }
+  };
+  // Non-null only on topologies built by TransitStub.
+  const TransitStubInfo* transit_stub_info() const {
+    return transit_stub_info_.num_stub_domains > 0 ? &transit_stub_info_ : nullptr;
+  }
+
  private:
   struct Edge {
     int32_t from = -1;
@@ -284,6 +322,7 @@ class RoutedTopology final : public Topology {
   int num_routers_;
   std::vector<int32_t> attach_;  // per overlay node; -1 until AttachNode
   std::vector<Edge> edges_;
+  TransitStubInfo transit_stub_info_;  // empty unless TransitStub-built
 
   // Lazy routing state (const-queried, cached): CSR adjacency over routers,
   // per-source shortest-path trees, and pooled per-router-pair edge lists.

@@ -56,11 +56,13 @@ TEST(ExpandSweepGridTest, CartesianProductWithRepeats) {
   EXPECT_EQ(points[2].point_index, 1);
 
   // Cell 0: (nodes=20, loss=0); cell 3: (nodes=50, loss=0); cell 5: (50, 0.03).
-  EXPECT_EQ(points[0].params[0], (std::pair<std::string, double>{"nodes", 20.0}));
-  EXPECT_EQ(points[0].params[1], (std::pair<std::string, double>{"loss", 0.0}));
-  EXPECT_EQ(points[6].params[0].second, 50.0);
-  EXPECT_EQ(points[6].params[1].second, 0.0);
-  EXPECT_EQ(points[10].params[1].second, 0.03);
+  EXPECT_EQ(points[0].params[0].first, "nodes");
+  EXPECT_EQ(points[0].params[0].second.number, 20.0);
+  EXPECT_EQ(points[0].params[1].first, "loss");
+  EXPECT_EQ(points[0].params[1].second.number, 0.0);
+  EXPECT_EQ(points[6].params[0].second.number, 50.0);
+  EXPECT_EQ(points[6].params[1].second.number, 0.0);
+  EXPECT_EQ(points[10].params[1].second.number, 0.03);
 
   // Options carry the per-point assignment and the derived seed.
   ASSERT_TRUE(points[6].options.nodes.has_value());

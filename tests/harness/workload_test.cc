@@ -15,6 +15,7 @@
 #include "src/core/bullet_prime.h"
 #include "src/harness/experiment.h"
 #include "src/harness/scenarios.h"
+#include "src/harness/workload_gen.h"
 #include "src/overlay/protocol_registry.h"
 
 namespace bullet {
@@ -237,23 +238,108 @@ TEST(WorkloadExperiment, InvalidSpecsDie) {
   }
 }
 
-// The string-keyed RunScenario and the legacy enum overload are the same run.
-TEST(RunScenarioByName, MatchesEnumDispatchBitwise) {
-  ScenarioConfig cfg;
-  cfg.topo = ScenarioConfig::Topo::kUniform;
-  cfg.num_nodes = 8;
-  cfg.file_mb = 0.5;
-  cfg.seed = 606;
-  cfg.deadline = SecToSim(1200.0);
-
-  const ScenarioResult by_enum = RunScenario(System::kBitTorrent, cfg);
-  const ScenarioResult by_name = RunScenario("bittorrent", cfg);
-  EXPECT_EQ(by_enum.name, by_name.name);
-  ASSERT_EQ(by_enum.completion_sec.size(), by_name.completion_sec.size());
-  for (size_t i = 0; i < by_enum.completion_sec.size(); ++i) {
-    EXPECT_EQ(by_enum.completion_sec[i], by_name.completion_sec[i]);
+TEST(WorkloadExperiment, GeneratorSpecsDie) {
+  WorkloadParams params;
+  {
+    // An arrivals generator and an explicit join schedule are two sources of
+    // truth for the same thing.
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.members = {0, 1, 2};
+    s.join_offsets = {0, 0, 0};
+    s.arrivals = std::make_shared<FixedOffsetArrivals>(0);
+    EXPECT_DEATH(wl.AddSession(s), "mutually exclusive");
   }
-  EXPECT_EQ(by_enum.completed, by_name.completed);
+  {
+    // protocol_config's std::any is validated against the registry entry's
+    // declared config type at resolution, not at first use deep in a factory.
+    WorkloadExperiment wl(SmallUniform(8, 3), params);
+    SessionSpec s;
+    s.protocol = "bullet-prime";
+    s.members = {0, 1, 2};
+    s.protocol_config = 42;  // an int is not a BulletPrimeConfig
+    EXPECT_DEATH(wl.AddSession(s), "wrong type");
+  }
+}
+
+TEST(WorkloadExperiment, LifetimeExpiryDepartsReceiversAndStillTerminates) {
+  WorkloadParams params;
+  params.seed = 77;
+  params.deadline = SecToSim(3600.0);
+  WorkloadExperiment wl(SmallUniform(8, 3), params);
+
+  SessionSpec spec;
+  spec.protocol = "bullet-prime";
+  spec.file = SmallFile(64);
+  // A 2-second Pareto floor with a heavy tail: most receivers expire long
+  // before the transfer can finish, which must not hang the session.
+  spec.lifetimes = std::make_shared<ParetoLifetime>(1.2, SecToSim(2.0));
+  wl.AddSession(spec);
+  const WorkloadResult result = wl.Run();
+
+  const SessionResult& r = result.sessions[0];
+  EXPECT_GT(r.departed, 0);
+  EXPECT_EQ(r.departed, result.total_departures);
+  EXPECT_GT(r.departed_incomplete, 0);
+  // Departed-incomplete receivers are credited by the completion policy, so
+  // the session closes out (far before the one-hour deadline) instead of
+  // waiting forever for receivers that already left.
+  EXPECT_GE(r.completed_at_sec, 0.0);
+  EXPECT_LT(r.completed_at_sec, 600.0);
+  EXPECT_EQ(r.completed + r.departed_incomplete, r.receivers);
+}
+
+TEST(WorkloadExperiment, SeederDepartureDrainsCompletedReceivers) {
+  WorkloadParams params;
+  params.seed = 91;
+  params.deadline = SecToSim(3600.0);
+  WorkloadExperiment wl(SmallUniform(8, 3), params);
+
+  SessionSpec spec;
+  spec.protocol = "bullet-prime";
+  spec.file = SmallFile(16);
+  // Half the members join 30s late, so the early cohort completes, lingers 1s,
+  // and departs while the sim is still running for the late cohort (departure
+  // events landing after the last completion never fire — the run is over).
+  for (NodeId n = 0; n < 8; ++n) {
+    spec.members.push_back(n);
+    spec.join_offsets.push_back(n >= 4 ? SecToSim(30.0) : 0);
+  }
+  spec.lifetimes = std::make_shared<SeederDepartureLifetime>(SecToSim(1.0));
+  wl.AddSession(spec);
+  const WorkloadResult result = wl.Run();
+
+  const SessionResult& r = result.sessions[0];
+  // Everyone completes (lifetimes are infinite until completion); the early
+  // cohort additionally departs after its linger.
+  EXPECT_EQ(r.completed, r.receivers);
+  EXPECT_GE(r.departed, 3);
+  EXPECT_EQ(r.departed_incomplete, 0);
+}
+
+TEST(WorkloadExperiment, ChurnModelDeparturesAreRecorded) {
+  WorkloadParams params;
+  params.seed = 55;
+  params.deadline = SecToSim(3600.0);
+  WorkloadExperiment wl(SmallUniform(10, 3), params);
+
+  SessionSpec spec;
+  spec.protocol = "bullet-prime";
+  spec.file = SmallFile(64);
+  wl.AddSession(spec);
+  // Kills packed into the first two sim-seconds, well inside the transfer.
+  wl.SetChurnModel(std::make_shared<LeafFailureChurn>(3, SecToSim(0.5), SecToSim(0.5)));
+  const WorkloadResult result = wl.Run();
+
+  ASSERT_EQ(result.churn_events.size(), 3u);
+  for (const ChurnEvent& ev : result.churn_events) {
+    EXPECT_NE(ev.node, 0);  // churn models never kill a source
+    EXPECT_GT(ev.at, 0);
+  }
+  EXPECT_EQ(result.sessions[0].departed, 3);
+  EXPECT_EQ(result.total_departures, 3);
+  EXPECT_EQ(result.sessions[0].completed + result.sessions[0].departed_incomplete,
+            result.sessions[0].receivers);
 }
 
 // Encoded-stream methodology comes from the registry entry, exactly like the

@@ -27,6 +27,7 @@
 #include "src/harness/scenario_runner.h"
 #include "src/harness/scenarios.h"
 #include "src/harness/workload.h"
+#include "src/harness/workload_gen.h"
 #include "src/sim/dynamics.h"
 #include "src/sim/network.h"
 
@@ -46,7 +47,7 @@ ScenarioConfig Fig04Config() {
 
 std::string SerializedRun(const ScenarioConfig& cfg) {
   ScenarioReport report("determinism");
-  report.AddCompletion(RunScenario(System::kBulletPrime, cfg));
+  report.AddCompletion(RunScenario("bullet-prime", cfg));
   std::ostringstream os;
   WriteReportJson(os, report, ScenarioOptions{});
   return os.str();
@@ -66,9 +67,9 @@ TEST(Determinism, IncrementalMatchesFullRecomputeOnProtocolRun) {
   cfg.file_mb = 2.0;
 
   cfg.full_recompute_allocator = false;
-  const ScenarioResult incremental = RunScenario(System::kBulletPrime, cfg);
+  const ScenarioResult incremental = RunScenario("bullet-prime", cfg);
   cfg.full_recompute_allocator = true;
-  const ScenarioResult full = RunScenario(System::kBulletPrime, cfg);
+  const ScenarioResult full = RunScenario("bullet-prime", cfg);
 
   ASSERT_EQ(incremental.completion_sec.size(), full.completion_sec.size());
   for (size_t i = 0; i < incremental.completion_sec.size(); ++i) {
@@ -221,9 +222,9 @@ TEST(Determinism, TransitStubIncrementalMatchesFullRecomputeOnProtocolRun) {
   cfg.num_nodes = 12;
 
   cfg.full_recompute_allocator = false;
-  const ScenarioResult incremental = RunScenario(System::kBulletPrime, cfg);
+  const ScenarioResult incremental = RunScenario("bullet-prime", cfg);
   cfg.full_recompute_allocator = true;
-  const ScenarioResult full = RunScenario(System::kBulletPrime, cfg);
+  const ScenarioResult full = RunScenario("bullet-prime", cfg);
 
   ASSERT_EQ(incremental.completion_sec.size(), full.completion_sec.size());
   for (size_t i = 0; i < incremental.completion_sec.size(); ++i) {
@@ -355,6 +356,52 @@ TEST(Determinism, SkipIdleTicksMatchesDefaultOnCollisionFreeScript) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i], b[i]) << "event " << i;
   }
+}
+
+// The full generator stack — diurnal arrivals, Pareto lifetimes with seeder
+// departure, DSL access-link cohorts, and a correlated stub outage — must be
+// exactly reproducible: two in-process runs of the same spec serialize to the
+// same bytes, including the drawn churn schedule.
+TEST(Determinism, GeneratorDrivenChurnWorkloadSerializesIdentically) {
+  const auto run = [] {
+    ScenarioConfig cfg;
+    cfg.topo = ScenarioConfig::Topo::kTransitStub;
+    cfg.num_nodes = 18;
+    cfg.file_mb = 1.0;
+    cfg.block_bytes = 16 * 1024;
+    cfg.seed = 2203;
+    WorkloadSpec workload;
+    workload.access_links = std::make_shared<DslAccessLinks>(0.25, 4e6, 1e6);
+    workload.churn = std::make_shared<CorrelatedFailureChurn>(
+        CorrelatedFailureChurn::Scope::kStubDomain, SecToSim(4.0));
+    SessionSpec session;
+    session.protocol = "bullet-prime";
+    session.source = 0;
+    session.arrivals = std::make_shared<DiurnalArrivals>(2.0, 0.8, SecToSim(20.0));
+    session.lifetimes =
+        std::make_shared<ParetoLifetime>(1.5, SecToSim(30.0), /*depart_after_completion=*/true,
+                                         /*linger=*/SecToSim(5.0));
+    workload.sessions.push_back(std::move(session));
+    const WorkloadResult wl = RunScenarioWorkload(cfg, workload);
+
+    std::ostringstream os;
+    os << wl.sessions_completed << '|' << wl.total_departures << '|' << wl.max_shared_link_flows;
+    for (const ChurnEvent& ev : wl.churn_events) {
+      os << '|' << ev.node << '@' << ev.at;
+    }
+    const SessionResult& r = wl.sessions[0];
+    os << '|' << r.completed << '|' << r.departed << '|' << r.departed_incomplete;
+    for (const double t : r.completion_sec) {
+      os << '|' << t;
+    }
+    return os.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // The spec actually produced dynamics, or this golden pins a static run.
+  EXPECT_NE(first.find('@'), std::string::npos);
 }
 
 }  // namespace
