@@ -53,7 +53,7 @@ BULLET_SCENARIO(fig18_flash_crowd, "Extension — flash crowd: 80% of nodes join
   workload.sessions.push_back(session);
 
   const WorkloadResult wl = RunScenarioWorkload(cfg, workload);
-  const ScenarioResult result = ToScenarioResult(wl.sessions.front(), wl.max_shared_link_flows);
+  const ScenarioResult result = ToScenarioResult(wl.sessions.front(), wl);
 
   ScenarioReport report(kScenarioName);
   report.AddCompletion(result.name, result);

@@ -56,7 +56,7 @@ BULLET_SCENARIO(fig19_concurrent_sessions,
 
   ScenarioReport report(kScenarioName);
   for (const SessionResult& session : wl.sessions) {
-    report.AddCompletion(session.name, ToScenarioResult(session, wl.max_shared_link_flows));
+    report.AddCompletion(session.name, ToScenarioResult(session, wl));
   }
   report.AddScalar("max_flows_on_shared_link", wl.max_shared_link_flows);
   report.AddScalar("sessions_completed", wl.sessions_completed);

@@ -48,7 +48,7 @@ BULLET_SCENARIO(fig20_mixed_systems,
 
   ScenarioReport report(kScenarioName);
   for (const SessionResult& session : wl.sessions) {
-    report.AddCompletion(session.name, ToScenarioResult(session, wl.max_shared_link_flows));
+    report.AddCompletion(session.name, ToScenarioResult(session, wl));
   }
   report.AddScalar("max_flows_on_shared_link", wl.max_shared_link_flows);
   report.AddScalar("sessions_completed", wl.sessions_completed);

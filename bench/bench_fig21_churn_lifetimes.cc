@@ -58,7 +58,7 @@ BULLET_SCENARIO(fig21_churn_lifetimes,
 
     const WorkloadResult wl = RunScenarioWorkload(cfg, workload);
     const SessionResult& r = wl.sessions.front();
-    report.AddCompletion(ToScenarioResult(r, wl.max_shared_link_flows));
+    report.AddCompletion(ToScenarioResult(r, wl));
     // Underscored keys: metric names are dotted with the series name downstream.
     const std::string key = std::string(system) == "bullet-prime" ? "bullet_prime"
                                                                   : std::string(system);

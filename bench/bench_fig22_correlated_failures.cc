@@ -125,7 +125,7 @@ BULLET_SCENARIO(fig22_correlated_failures,
   }
 
   ScenarioReport report(kScenarioName);
-  report.AddCompletion(ToScenarioResult(wl.sessions.front(), wl.max_shared_link_flows));
+  report.AddCompletion(ToScenarioResult(wl.sessions.front(), wl));
   report.AddSeries("SurvivorGatewayMbps", survivor_mbps);
   report.AddScalar("outage_at_s", outage_sec);
   report.AddScalar("failed_nodes", static_cast<double>(wl.churn_events.size()));

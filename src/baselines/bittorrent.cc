@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/profiler.h"
 #include "src/overlay/protocol_registry.h"
 
 namespace bullet {
@@ -343,6 +344,7 @@ int BitTorrent::SelectPiece(const Peer& p) {
 }
 
 void BitTorrent::IssueRequests(Peer& p) {
+  BULLET_PROFILE_SCOPE(ProfilePhase::kRequestStrategy);
   if (p.peer_choking || !p.am_interested || complete()) {
     return;
   }

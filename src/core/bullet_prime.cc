@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 #include "src/overlay/protocol_registry.h"
 
 namespace bullet {
@@ -497,6 +498,7 @@ int BulletPrime::OutstandingLimit(const Sender& s) const {
 }
 
 void BulletPrime::IssueRequests(Sender& s) {
+  BULLET_PROFILE_SCOPE(ProfilePhase::kRequestStrategy);
   if (!s.active || complete()) {
     return;
   }

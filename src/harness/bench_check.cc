@@ -10,7 +10,11 @@
 namespace bullet {
 namespace {
 
-constexpr char kSchema[] = "bullet-bench-v2";
+// Aggregate schemas the band gate accepts. v3 added deterministic counter
+// metrics and (in profiled builds) per-point profile counts; the band
+// comparison itself is unchanged, so either side may be either version.
+constexpr const char* kAggregateSchemas[] = {"bullet-bench-v2", "bullet-bench-v3"};
+constexpr char kFloorsSchema[] = "bullet-floors-v1";
 
 // Canonical identity of a grid point: its params object rendered "k=v,k=v".
 // JsonValue objects are sorted maps, so equal param sets render identically no
@@ -40,15 +44,24 @@ std::string PointKey(const JsonValue& point) {
   return key;
 }
 
-bool CheckSchema(const JsonValue& doc, const char* which, std::ostream& log) {
+bool CheckSchema(const JsonValue& doc, const char* which, const char* expected_schema,
+                 std::ostream& log) {
   if (!doc.is_object()) {
     log << "bench_check: " << which << " is not a JSON object\n";
     return false;
   }
   const std::string schema = doc.StringOr("schema", "");
-  if (schema != kSchema) {
-    log << "bench_check: " << which << " has schema '" << schema << "', expected '" << kSchema
-        << "'\n";
+  bool accepted = false;
+  if (expected_schema != nullptr) {
+    accepted = schema == expected_schema;
+  } else {
+    for (const char* s : kAggregateSchemas) {
+      accepted = accepted || schema == s;
+    }
+  }
+  if (!accepted) {
+    log << "bench_check: " << which << " has schema '" << schema << "', expected '"
+        << (expected_schema != nullptr ? expected_schema : "bullet-bench-v2/-v3") << "'\n";
     return false;
   }
   const JsonValue* points = doc.Find("points");
@@ -59,19 +72,14 @@ bool CheckSchema(const JsonValue& doc, const char* which, std::ostream& log) {
   return true;
 }
 
-}  // namespace
-
-int CompareSweepDocs(const JsonValue& baseline, const JsonValue& current,
-                     const BenchCheckOptions& opts, std::ostream& log) {
-  if (!CheckSchema(baseline, "baseline", log) || !CheckSchema(current, "current", log)) {
-    return kBenchCheckBadInput;
-  }
+// Scenario / seed / repeats / repro_scale identity shared by both modes.
+bool CheckComparable(const JsonValue& baseline, const JsonValue& current, std::ostream& log) {
   const std::string base_scenario = baseline.StringOr("scenario", "");
   const std::string cur_scenario = current.StringOr("scenario", "");
   if (base_scenario != cur_scenario) {
     log << "bench_check: scenario mismatch: baseline '" << base_scenario << "' vs current '"
         << cur_scenario << "'\n";
-    return kBenchCheckBadInput;
+    return false;
   }
   // Sweeps with different seeds, repeat counts or REPRO_SCALE are measuring
   // different things; diagnose that as incomparable input rather than flooding
@@ -84,8 +92,79 @@ int CompareSweepDocs(const JsonValue& baseline, const JsonValue& current,
       log << "bench_check: " << field << " mismatch: baseline " << base_v->number()
           << " vs current " << cur_v->number() << " — regenerate the baseline or fix the "
           << "sweep invocation\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int CompareFloorDocs(const JsonValue& baseline, const JsonValue& current, std::ostream& log) {
+  if (!CheckSchema(baseline, "baseline", kFloorsSchema, log) ||
+      !CheckSchema(current, "current", kFloorsSchema, log)) {
+    return kBenchCheckBadInput;
+  }
+  if (!CheckComparable(baseline, current, log)) {
+    return kBenchCheckBadInput;
+  }
+
+  std::map<std::string, const JsonValue*> current_points;
+  for (const JsonValue& point : current.Find("points")->array()) {
+    current_points[PointKey(point)] = &point;
+  }
+
+  int checked = 0;
+  int failed = 0;
+  for (const JsonValue& base_point : baseline.Find("points")->array()) {
+    const std::string key = PointKey(base_point);
+    const auto cur_it = current_points.find(key);
+    if (cur_it == current_points.end()) {
+      log << "FAIL point {" << key << "}: missing from current floors\n";
+      ++failed;
+      continue;
+    }
+    const JsonValue* base_floors = base_point.Find("floors");
+    if (base_floors == nullptr || !base_floors->is_object()) {
+      log << "bench_check: baseline point {" << key << "} has no floors object\n";
       return kBenchCheckBadInput;
     }
+    const JsonValue* cur_floors = cur_it->second->Find("floors");
+    for (const auto& [name, floor] : base_floors->object()) {
+      if (!floor.is_number()) {
+        continue;
+      }
+      ++checked;
+      const JsonValue* cur_v = cur_floors != nullptr ? cur_floors->Find(name) : nullptr;
+      if (cur_v == nullptr || !cur_v->is_number()) {
+        log << "FAIL point {" << key << "} " << name << ": metric missing from current floors\n";
+        ++failed;
+        continue;
+      }
+      if (cur_v->number() < floor.number()) {
+        log << "FAIL point {" << key << "} " << name << ": current " << cur_v->number()
+            << " below floor " << floor.number() << "\n";
+        ++failed;
+      }
+    }
+  }
+
+  log << "bench_check: " << checked << " throughput floors checked, " << failed << " below floor\n";
+  return failed == 0 ? kBenchCheckOk : kBenchCheckRegression;
+}
+
+int CompareSweepDocs(const JsonValue& baseline, const JsonValue& current,
+                     const BenchCheckOptions& opts, std::ostream& log) {
+  // A floors baseline selects the one-sided throughput gate.
+  if (baseline.is_object() && baseline.StringOr("schema", "") == kFloorsSchema) {
+    return CompareFloorDocs(baseline, current, log);
+  }
+  if (!CheckSchema(baseline, "baseline", nullptr, log) ||
+      !CheckSchema(current, "current", nullptr, log)) {
+    return kBenchCheckBadInput;
+  }
+  if (!CheckComparable(baseline, current, log)) {
+    return kBenchCheckBadInput;
   }
 
   std::map<std::string, const JsonValue*> current_points;

@@ -1,6 +1,9 @@
-// Bench-regression gate: diffs a freshly produced bullet-bench-v2 sweep aggregate
-// against a committed baseline, with per-metric tolerance bands. CI runs this via
-// tools/bench_check and fails the build on any out-of-band metric.
+// Bench-regression gate: diffs a freshly produced sweep aggregate
+// (bullet-bench-v2 or -v3) against a committed baseline, with per-metric
+// tolerance bands. When both documents carry the bullet-floors-v1 schema the
+// comparison switches to the one-sided throughput-floor mode instead (current
+// must meet or beat every committed floor). CI runs this via tools/bench_check
+// and fails the build on any out-of-band metric.
 
 #ifndef SRC_HARNESS_BENCH_CHECK_H_
 #define SRC_HARNESS_BENCH_CHECK_H_
@@ -34,8 +37,21 @@ struct BenchCheckOptions {
 // baseline point and metric must exist in `current`; extra points/metrics in
 // `current` are ignored so new instrumentation never breaks the gate. Verdict
 // lines (PASS/FAIL per comparison plus a summary) go to `log`.
+//
+// Accepts baselines in either aggregate schema (v2 from before the counter
+// instrumentation, v3 with it); the two documents need not match schemas, so
+// pre-existing committed baselines keep gating v3 currents unchanged.
 int CompareSweepDocs(const JsonValue& baseline, const JsonValue& current,
                      const BenchCheckOptions& opts, std::ostream& log);
+
+// Throughput-floor mode (schema bullet-floors-v1 on both sides): for every
+// baseline point, each metric under its `floors` object must satisfy
+// current >= floor. One-sided on purpose — faster is never a failure — and
+// tolerance-free: the committed floor itself embeds the safety margin (see
+// docs/PERFORMANCE.md for how floors are derived and updated). Tolerances in
+// `opts` are ignored here. CompareSweepDocs dispatches to this automatically
+// when the baseline carries the floors schema.
+int CompareFloorDocs(const JsonValue& baseline, const JsonValue& current, std::ostream& log);
 
 // File-based wrapper: parses both paths then delegates to CompareSweepDocs.
 int CompareSweepFiles(const std::string& baseline_path, const std::string& current_path,

@@ -315,6 +315,12 @@ void ScenarioReport::AddCompletion(const std::string& name, const ScenarioResult
   s.metrics.emplace_back("ctrl_pct", result.control_overhead * 100.0);
   s.metrics.emplace_back("completed", static_cast<double>(result.completed));
   s.metrics.emplace_back("receivers", static_cast<double>(result.receivers));
+  // Deterministic run counters (whole-network totals for the run that produced
+  // this series; multi-session scenarios repeat them on each session's series).
+  // bench_check normalizes these by wall time for the throughput-floor gate.
+  s.metrics.emplace_back("net_events_executed", static_cast<double>(result.events_executed));
+  s.metrics.emplace_back("net_allocator_epochs", static_cast<double>(result.allocator_epochs));
+  s.metrics.emplace_back("net_sim_bytes_sent", static_cast<double>(result.sim_bytes_sent));
 }
 
 SeriesReport& ScenarioReport::AddSeries(const std::string& name, std::vector<double> samples) {

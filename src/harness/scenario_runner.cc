@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
@@ -58,6 +59,8 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
       args.help = true;
     } else if (arg == "--quiet") {
       args.quiet = true;
+    } else if (arg == "--profile") {
+      args.profile = true;
     } else if (MatchesFlag(arg, "--scenario")) {
       if (!ConsumeString(argc, argv, &i, arg, "--scenario", &args.scenario)) {
         args.ok = false;
@@ -148,14 +151,20 @@ RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
     args.ok = false;
     args.error = "one of --list or --scenario NAME is required";
   }
+  // Sweeps already surface per-phase counts in the aggregate (profiled builds)
+  // and throughput in the floors file; the interactive summary is single-run.
+  if (args.ok && args.profile && args.sweep_mode()) {
+    args.ok = false;
+    args.error = "--profile applies to single runs only, not sweep mode";
+  }
   return args;
 }
 
 void WriteReportJson(std::ostream& os, const ScenarioReport& report,
-                     const ScenarioOptions& options) {
+                     const ScenarioOptions& options, const PhaseSnapshot* profile) {
   JsonWriter json(os);
   json.BeginObject();
-  json.Field("schema", "bullet-bench-v1");
+  json.Field("schema", "bullet-bench-v3");
   json.Field("scenario", report.scenario());
   json.Field("repro_scale", GetReproScale().file_scale);
 
@@ -201,8 +210,55 @@ void WriteReportJson(std::ostream& os, const ScenarioReport& report,
   }
   json.EndArray();
 
+  // Per-phase {count, ns} totals, present only when a profiled build recorded
+  // something. Counts are deterministic; ns is wall-clock and allowed here
+  // because per-run documents are never diffed for byte identity.
+  if (profile != nullptr && profile->total_count() > 0) {
+    json.Key("profile").BeginObject();
+    for (int p = 0; p < kProfilePhaseCount; ++p) {
+      json.Key(ProfilePhaseName(static_cast<ProfilePhase>(p))).BeginObject();
+      json.Field("count", static_cast<int64_t>(profile->phases[p].count));
+      json.Field("ns", static_cast<int64_t>(profile->phases[p].ns));
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+
   json.EndObject();
   os << "\n";
+}
+
+void PrintProfileSummary(std::ostream& os, const RunCounters& counters,
+                         const PhaseSnapshot& profile, double wall_sec) {
+  os << "### profile\n";
+  const double denom = wall_sec > 1e-9 ? wall_sec : 1e-9;
+  os << "wall_sec            = " << wall_sec << "\n";
+  os << "events_executed     = " << counters.events_executed << "  ("
+     << static_cast<uint64_t>(static_cast<double>(counters.events_executed) / denom)
+     << " events/s)\n";
+  os << "allocator_epochs    = " << counters.allocator_epochs << "\n";
+  os << "sim_bytes_sent      = " << counters.sim_bytes_sent << "  ("
+     << static_cast<uint64_t>(static_cast<double>(counters.sim_bytes_sent) / denom)
+     << " bytes/s)\n";
+  if (!PhaseProfiler::kCompiledIn) {
+    os << "(per-phase timings unavailable: rebuild with -DBULLET_PROFILE=ON)\n";
+    return;
+  }
+  os << "\nphase               count          total_ms   avg_ns\n";
+  for (int p = 0; p < kProfilePhaseCount; ++p) {
+    const PhaseProfiler::PhaseTotals& t = profile.phases[p];
+    std::ostringstream name;
+    name << ProfilePhaseName(static_cast<ProfilePhase>(p));
+    os << name.str() << std::string(name.str().size() < 20 ? 20 - name.str().size() : 1, ' ');
+    std::ostringstream count;
+    count << t.count;
+    os << count.str() << std::string(count.str().size() < 15 ? 15 - count.str().size() : 1, ' ');
+    std::ostringstream total;
+    total << static_cast<double>(t.ns) / 1e6;
+    os << total.str() << std::string(total.str().size() < 11 ? 11 - total.str().size() : 1, ' ');
+    os << (t.count > 0 ? t.ns / t.count : 0) << "\n";
+  }
+  os << "(timers are inclusive: e.g. protocol_logic runs inside event_dispatch)\n";
 }
 
 void PrintScenarioList(std::ostream& os, const ScenarioRegistry& registry) {
@@ -243,9 +299,14 @@ void PrintRunnerUsage(std::ostream& os) {
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
+        "  --profile          print run counters and, in -DBULLET_PROFILE=ON builds,\n"
+        "                     the per-phase count/timing table (single runs only;\n"
+        "                     see docs/PERFORMANCE.md)\n"
         "\n"
         "sweep mode (runs scenario × cartesian grid × repeats on a worker pool;\n"
-        "aggregate JSON is byte-identical for a given spec regardless of --jobs):\n"
+        "aggregate JSON is byte-identical for a given spec regardless of --jobs;\n"
+        "also writes BENCH_sweep_<name>_floors.json with measured events/sec and\n"
+        "sim-bytes/sec per grid point for the CI throughput-floor gate):\n"
         "  --sweep key=v1,..  one grid axis (nodes, file-mb, block-bytes,\n"
         "                     deadline-sec, loss, join-fraction,\n"
         "                     lifetime-pareto-alpha, churn-model); repeat the\n"
@@ -376,14 +437,15 @@ int RunSweepMode(const RunnerArgs& args, const ScenarioRegistry& registry, std::
     return true;
   };
 
-  // Per-run v1 reports first, then the v2 aggregate the CI gate diffs.
+  // Per-run v3 reports first, then the v3 aggregate the CI gate diffs, then
+  // the machine-dependent floors companion the throughput gate consumes.
   const std::string tag = spec.OutputName();
   for (const ScenarioContext& ctx : outcome.runs) {
     const std::string path = args.out_dir + "/BENCH_sweep_" + tag + "_p" +
                              std::to_string(ctx.point.point_index) + "_r" +
                              std::to_string(ctx.point.repeat) + ".json";
     if (!write_json(path, [&ctx](std::ostream& os) {
-          WriteReportJson(os, *ctx.report, ctx.point.options);
+          WriteReportJson(os, *ctx.report, ctx.point.options, &ctx.profile);
         })) {
       return 1;
     }
@@ -392,6 +454,11 @@ int RunSweepMode(const RunnerArgs& args, const ScenarioRegistry& registry, std::
       args.out_path.empty() ? args.out_dir + "/BENCH_sweep_" + tag + ".json" : args.out_path;
   if (!write_json(aggregate_path,
                   [&outcome](std::ostream& os) { WriteSweepJson(os, outcome); })) {
+    return 1;
+  }
+  const std::string floors_path = args.out_dir + "/BENCH_sweep_" + tag + "_floors.json";
+  if (!write_json(floors_path,
+                  [&outcome](std::ostream& os) { WriteSweepFloorsJson(os, outcome); })) {
     return 1;
   }
 
@@ -436,7 +503,19 @@ int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& regist
     return 2;
   }
 
-  const ScenarioReport report = entry->fn(args.options);
+  // Counters always record (they are cheap and deterministic); the profiler
+  // records per-phase data only in BULLET_PROFILE builds.
+  RunCounters counters;
+  PhaseProfiler profiler;
+  const auto run_start = std::chrono::steady_clock::now();
+  const ScenarioReport report = [&] {
+    ScopedRunCounters install_counters(&counters);
+    ScopedProfilerInstall install_profiler(&profiler);
+    return entry->fn(args.options);
+  }();
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+  const PhaseSnapshot profile = SnapshotPhases(profiler);
 
   const std::string out_path =
       args.out_path.empty() ? "BENCH_" + report.scenario() + ".json" : args.out_path;
@@ -445,7 +524,7 @@ int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& regist
     err << "bullet_run: cannot open " << out_path << " for writing\n";
     return 1;
   }
-  WriteReportJson(file, report, args.options);
+  WriteReportJson(file, report, args.options, &profile);
   file.close();
   if (!file) {
     err << "bullet_run: failed writing " << out_path << "\n";
@@ -464,6 +543,9 @@ int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& regist
     }
     out << "\n### CDF series (fraction, seconds)\n";
     PrintCdf(out, series, 20);
+  }
+  if (args.profile) {
+    PrintProfileSummary(out, counters, profile, wall_sec);
   }
   out << "wrote " << out_path << "\n";
   return 0;

@@ -20,6 +20,7 @@ struct RunnerArgs {
   bool help = false;
   bool list = false;
   bool quiet = false;      // suppress the human-readable tables on stdout
+  bool profile = false;    // print the per-phase profile summary (single runs)
   std::string scenario;
   std::string out_path;    // empty => BENCH_<scenario>.json in the working directory
   ScenarioOptions options;
@@ -45,9 +46,17 @@ struct RunnerArgs {
 // Both "--flag value" and "--flag=value" forms are accepted.
 RunnerArgs ParseRunnerArgs(int argc, const char* const* argv);
 
-// Serializes a finished report (plus the options that produced it) as JSON.
+// Serializes a finished report (plus the options that produced it) as JSON
+// (schema bullet-bench-v3). A non-null `profile` with recorded phases adds a
+// `profile` block of per-phase {count, ns} totals — per-run documents may
+// carry wall-clock data; sweep *aggregates* may not (see WriteSweepJson).
 void WriteReportJson(std::ostream& os, const ScenarioReport& report,
-                     const ScenarioOptions& options);
+                     const ScenarioOptions& options, const PhaseSnapshot* profile = nullptr);
+
+// Human-readable table behind `bullet_run --profile`: the deterministic run
+// counters plus, in profiled builds, per-phase count/total/mean timings.
+void PrintProfileSummary(std::ostream& os, const RunCounters& counters,
+                         const PhaseSnapshot& profile, double wall_sec);
 
 void PrintScenarioList(std::ostream& os, const ScenarioRegistry& registry);
 void PrintRunnerUsage(std::ostream& os);

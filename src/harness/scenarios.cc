@@ -105,7 +105,7 @@ WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec
   return exp.Run();
 }
 
-ScenarioResult ToScenarioResult(const SessionResult& session, int32_t max_shared_link_flows) {
+ScenarioResult ToScenarioResult(const SessionResult& session, const WorkloadResult& run) {
   ScenarioResult result;
   result.name = session.name;
   result.completion_sec = session.completion_sec;
@@ -114,7 +114,10 @@ ScenarioResult ToScenarioResult(const SessionResult& session, int32_t max_shared
   result.control_overhead = session.control_overhead;
   result.completed = session.completed;
   result.receivers = session.receivers;
-  result.max_shared_link_flows = max_shared_link_flows;
+  result.max_shared_link_flows = run.max_shared_link_flows;
+  result.events_executed = run.events_executed;
+  result.allocator_epochs = run.allocator_epochs;
+  result.sim_bytes_sent = run.sim_bytes_sent;
   return result;
 }
 
@@ -137,7 +140,7 @@ ScenarioResult RunScenario(const std::string& protocol, const ScenarioConfig& cf
   }
   workload.sessions.push_back(std::move(session));
   const WorkloadResult r = RunScenarioWorkload(cfg, workload);
-  return ToScenarioResult(r.sessions.front(), r.max_shared_link_flows);
+  return ToScenarioResult(r.sessions.front(), r);
 }
 
 double OptimalAccessLinkSeconds(double file_mb, double access_bps) {

@@ -82,6 +82,12 @@ struct ScenarioResult {
   // Peak flows the allocator saw sharing one interior link (see
   // Network::max_interior_link_flows); > 1 only when pairs truly share links.
   int32_t max_shared_link_flows = 0;
+  // Deterministic network-run counters (whole network, not per session: a
+  // multi-session workload reports the same totals on every session's result).
+  // Seed-reproducible; the perf gate normalizes them by wall time.
+  uint64_t events_executed = 0;
+  uint64_t allocator_epochs = 0;
+  uint64_t sim_bytes_sent = 0;
 };
 
 // Builds the topology for `cfg` (deterministic in cfg.seed).
@@ -121,8 +127,9 @@ std::string ScenarioSubsetSystemOr(const ScenarioConfig& cfg, const std::string&
 // (fig18+) call directly.
 WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec& workload);
 
-// Converts one session's results to the legacy per-system ScenarioResult shape.
-ScenarioResult ToScenarioResult(const SessionResult& session, int32_t max_shared_link_flows);
+// Converts one session's results to the legacy per-system ScenarioResult
+// shape, attaching the run's network-wide shared-link peak and counters.
+ScenarioResult ToScenarioResult(const SessionResult& session, const WorkloadResult& run);
 
 // --- Fig. 4 reference lines ---
 

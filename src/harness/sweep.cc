@@ -317,13 +317,23 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const ScenarioRegistry& registry
   const auto worker = [&]() {
     for (size_t i = next.fetch_add(1); i < outcome.runs.size(); i = next.fetch_add(1)) {
       ScenarioContext& ctx = outcome.runs[i];
+      // Per-run counter/profiler installs: each worker thread observes only the
+      // run it is executing (thread-local current pointers), so counters and
+      // wall times attribute cleanly no matter how runs are scheduled.
+      PhaseProfiler profiler;
+      const auto run_start = std::chrono::steady_clock::now();
       try {
+        ScopedRunCounters install_counters(&ctx.counters);
+        ScopedProfilerInstall install_profiler(&profiler);
         ctx.report = entry->fn(ctx.point.options);
       } catch (const std::exception& e) {
         ctx.error = e.what();
       } catch (...) {
         ctx.error = "unknown exception";
       }
+      ctx.wall_sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+      ctx.profile = SnapshotPhases(profiler);
     }
   };
   if (jobs == 1) {
@@ -376,7 +386,7 @@ void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome) {
   const SweepSpec& spec = outcome.spec;
   JsonWriter json(os);
   json.BeginObject();
-  json.Field("schema", "bullet-bench-v2");
+  json.Field("schema", "bullet-bench-v3");
   json.Field("sweep", spec.OutputName());
   json.Field("scenario", spec.scenario);
   json.Field("base_seed", spec.base_seed);
@@ -443,6 +453,83 @@ void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome) {
       json.Field("p90", PercentileSorted(values, 0.90));
       json.EndObject();
     }
+    json.EndObject();
+    // Median per-phase *counts* across the point's repeats. Counts derive from
+    // the seed alone, so this block keeps the aggregate --jobs-invariant;
+    // phase nanoseconds are wall-clock data and stay out of this document.
+    if (PhaseProfiler::kCompiledIn) {
+      json.Key("profile").BeginObject();
+      for (int p = 0; p < kProfilePhaseCount; ++p) {
+        std::vector<double> counts;
+        counts.reserve(static_cast<size_t>(spec.repeats));
+        for (int r = 0; r < spec.repeats; ++r) {
+          counts.push_back(static_cast<double>(
+              outcome.runs[i + static_cast<size_t>(r)].profile.phases[p].count));
+        }
+        std::sort(counts.begin(), counts.end());
+        json.Field(ProfilePhaseName(static_cast<ProfilePhase>(p)),
+                   PercentileSorted(counts, 0.50));
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  os << "\n";
+}
+
+void WriteSweepFloorsJson(std::ostream& os, const SweepRunOutcome& outcome) {
+  const SweepSpec& spec = outcome.spec;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("schema", "bullet-floors-v1");
+  json.Field("sweep", spec.OutputName());
+  json.Field("scenario", spec.scenario);
+  json.Field("base_seed", spec.base_seed);
+  json.Field("repeats", static_cast<int64_t>(spec.repeats));
+  json.Field("repro_scale", GetReproScale().file_scale);
+
+  const auto median_of = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return PercentileSorted(v, 0.50);
+  };
+
+  json.Key("points").BeginArray();
+  for (size_t i = 0; i < outcome.runs.size(); i += static_cast<size_t>(spec.repeats)) {
+    const ScenarioContext& first = outcome.runs[i];
+    json.BeginObject();
+    json.Field("point_index", static_cast<int64_t>(first.point.point_index));
+    json.Key("params").BeginObject();
+    for (const auto& [key, value] : first.point.params) {
+      if (value.is_string) {
+        json.Field(key, value.text);
+      } else {
+        json.Field(key, value.number);
+      }
+    }
+    json.EndObject();
+
+    std::vector<double> wall;
+    std::vector<double> events;
+    std::vector<double> bytes;
+    for (int r = 0; r < spec.repeats; ++r) {
+      const ScenarioContext& ctx = outcome.runs[i + static_cast<size_t>(r)];
+      wall.push_back(ctx.wall_sec);
+      events.push_back(static_cast<double>(ctx.counters.events_executed));
+      bytes.push_back(static_cast<double>(ctx.counters.sim_bytes_sent));
+    }
+    const double wall_median = median_of(wall);
+    json.Field("wall_sec_median", wall_median);
+    json.Field("events_executed_median", median_of(events));
+    json.Field("sim_bytes_sent_median", median_of(bytes));
+    // The gated metrics. Division by a tiny wall time would make the floors
+    // meaninglessly huge, so sub-millisecond medians are clamped.
+    const double denom = wall_median > 1e-3 ? wall_median : 1e-3;
+    json.Key("floors").BeginObject();
+    json.Field("events_per_wall_sec", median_of(events) / denom);
+    json.Field("sim_bytes_per_wall_sec", median_of(bytes) / denom);
     json.EndObject();
     json.EndObject();
   }

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/profiler.h"
 #include "src/harness/scenario_registry.h"
 
 namespace bullet {
@@ -74,6 +75,13 @@ struct ScenarioContext {
   SweepPoint point;
   std::optional<ScenarioReport> report;  // empty until the run finishes
   std::string error;                     // non-empty if the scenario threw
+  // This run's wall time and deterministic counters (captured via a per-run
+  // ScopedRunCounters install). Wall time feeds only the floors document —
+  // never the aggregate, which must stay byte-identical across --jobs.
+  double wall_sec = 0.0;
+  RunCounters counters;
+  // Per-phase totals; all zero unless the build has -DBULLET_PROFILE=ON.
+  PhaseSnapshot profile;
 };
 
 struct SweepRunOutcome {
@@ -133,9 +141,19 @@ SweepRunOutcome RunSweep(const SweepSpec& spec, const ScenarioRegistry& registry
 // namespace the aggregator and bench_check operate on.
 std::map<std::string, double> FlattenReportMetrics(const ScenarioReport& report);
 
-// Serializes the aggregate bullet-bench-v2 document: spec echo, per-point params,
-// and median/p10/p90 across repeats for every flattened metric.
+// Serializes the aggregate bullet-bench-v3 document: spec echo, per-point params,
+// and median/p10/p90 across repeats for every flattened metric. In profiled
+// builds (PhaseProfiler::kCompiledIn) each point also carries a `profile`
+// object of median per-phase *counts* — counts are deterministic, so the
+// aggregate stays byte-identical across --jobs; nanoseconds never appear here.
 void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome);
+
+// Serializes the companion bullet-floors-v1 document: per grid point, the
+// median wall time and deterministic counters across repeats, plus the derived
+// normalized throughputs (events/sec, simulated bytes/sec) the CI perf gate
+// compares against committed floors (see docs/PERFORMANCE.md). This file is
+// machine-dependent by design and is written separately from the aggregate.
+void WriteSweepFloorsJson(std::ostream& os, const SweepRunOutcome& outcome);
 
 }  // namespace bullet
 

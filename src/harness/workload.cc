@@ -401,6 +401,9 @@ WorkloadResult WorkloadExperiment::Run() {
   result.max_shared_link_flows = net_->max_interior_link_flows();
   result.total_departures = total_departures_;
   result.churn_events = churn_events_;
+  result.events_executed = net_->events_executed();
+  result.allocator_epochs = net_->allocator_epochs();
+  result.sim_bytes_sent = static_cast<uint64_t>(net_->total_bytes_sent());
   return result;
 }
 

@@ -88,6 +88,11 @@ struct WorkloadResult {
   int total_departures = 0;
   // The churn model's schedule as drawn for this run (empty without a model).
   std::vector<ChurnEvent> churn_events;
+  // Deterministic run counters from the network (seed-reproducible; the perf
+  // gate divides them by wall time — see docs/PERFORMANCE.md).
+  uint64_t events_executed = 0;
+  uint64_t allocator_epochs = 0;
+  uint64_t sim_bytes_sent = 0;
 };
 
 // Registers the four built-in systems (bullet-prime, bullet, bittorrent,

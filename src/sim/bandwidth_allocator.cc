@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "src/common/profiler.h"
+
 namespace bullet {
 
 namespace {
@@ -177,7 +179,10 @@ void AllocateMaxMin(std::vector<FlowSpec>& flows, const std::vector<double>& lin
     cap[i] = flows[i].cap_bps;
   }
   std::vector<double> rate;
-  ReferenceMaxMin(flow_links, flow_off, cap, link_capacity_bps, rate);
+  {
+    BULLET_PROFILE_SCOPE(ProfilePhase::kWaterFill);
+    ReferenceMaxMin(flow_links, flow_off, cap, link_capacity_bps, rate);
+  }
   for (size_t i = 0; i < flows.size(); ++i) {
     flows[i].rate_bps = rate[i];
   }
@@ -194,7 +199,10 @@ void AllocateMaxMinPaths(std::vector<PathFlowSpec>& flows,
     cap[i] = flows[i].cap_bps;
   }
   std::vector<double> rate;
-  ReferenceMaxMin(flow_links, flow_off, cap, link_capacity_bps, rate);
+  {
+    BULLET_PROFILE_SCOPE(ProfilePhase::kWaterFill);
+    ReferenceMaxMin(flow_links, flow_off, cap, link_capacity_bps, rate);
+  }
   for (size_t i = 0; i < flows.size(); ++i) {
     flows[i].rate_bps = rate[i];
   }
@@ -236,6 +244,7 @@ void IncrementalMaxMin::AddFlowPath(const int32_t* ids, size_t num_ids, double c
 // Every comparison and arithmetic update mirrors the reference line for line, in
 // the same order, so the produced rates are bit-identical (see header contract).
 void IncrementalMaxMin::Allocate() {
+  BULLET_PROFILE_SCOPE(ProfilePhase::kWaterFill);
   const size_t num_links = capacity_.size();
   const size_t num_flows = cap_.size();
 

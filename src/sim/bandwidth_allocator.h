@@ -37,6 +37,15 @@
 // groups" cannot meet this contract (restricting the heap to a subgraph changes
 // tie resolution), which is why incrementality here means exact result reuse
 // plus allocation-free rebuild rather than subgraph water-filling.
+//
+// Thread-safety: the free functions are safe to call concurrently on disjoint
+// arguments (they touch only their parameters); an IncrementalMaxMin instance
+// is single-threaded — its persistent scratch belongs to one Network.
+//
+// Profiling: the water-filling body runs under a `water_fill` timed scope
+// (src/common/profiler.h) — distinct from the network's enclosing
+// `allocator_epoch` phase so nesting never double-counts. The scope is a no-op
+// unless built with -DBULLET_PROFILE=ON and never affects the computed rates.
 
 #ifndef SRC_SIM_BANDWIDTH_ALLOCATOR_H_
 #define SRC_SIM_BANDWIDTH_ALLOCATOR_H_

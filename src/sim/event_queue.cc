@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/profiler.h"
+
 namespace bullet {
 
 EventId EventQueue::Schedule(SimTime at, Callback cb) {
+  BULLET_PROFILE_COUNT(ProfilePhase::kEventSchedule);
   if (at < now_) {
     at = now_;
   }
@@ -50,7 +53,10 @@ uint64_t EventQueue::RunUntil(SimTime until) {
     now_ = entry.at;
     st = EventState::kDone;
     --live_;
-    entry.fn();
+    {
+      BULLET_PROFILE_SCOPE(ProfilePhase::kEventDispatch);
+      entry.fn();
+    }
     ++executed;
   }
   if (now_ < until && heap_.empty()) {

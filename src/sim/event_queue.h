@@ -10,6 +10,16 @@
 // key is a strict total order (seq is unique), so the execution sequence is
 // independent of the heap's internal layout — this is what makes the
 // representation swap byte-identical to the previous map-based implementation.
+//
+// Thread-safety: none — an EventQueue belongs to exactly one Network and is
+// driven from one thread. The sweep engine gets its parallelism from whole-run
+// isolation (one network + queue per worker), never from sharing a queue.
+//
+// Profiling: Schedule() counts into the `event_schedule` phase and RunNext()
+// wraps callback execution in an `event_dispatch` timed scope
+// (src/common/profiler.h). Both compile to nothing without -DBULLET_PROFILE=ON,
+// and in profiled builds they only read/update counters — event order, times
+// and results are bit-identical with and without profiling.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/profiler.h"
 
 namespace bullet {
 
@@ -92,11 +93,19 @@ ConnId Network::Connect(NodeId from, NodeId to) {
   for (int i = 0; i < 2; ++i) {
     const NodeId src = conn->node[i];
     const NodeId dst = conn->node[1 - i];
-    conn->path[i].path_delay = topology_->PathDelay(src, dst);
-    conn->path[i].rtt = topology_->Rtt(src, dst);
-    conn->path[i].loss = topology_->PathLoss(src, dst);
-    const Topology::PathView route = topology_->InteriorPath(src, dst);
-    conn->path[i].interior.assign(route.begin(), route.end());
+    {
+      BULLET_PROFILE_SCOPE(ProfilePhase::kTopologyMetrics);
+      conn->path[i].path_delay = topology_->PathDelay(src, dst);
+      conn->path[i].rtt = topology_->Rtt(src, dst);
+      conn->path[i].loss = topology_->PathLoss(src, dst);
+    }
+    {
+      BULLET_PROFILE_SCOPE(ProfilePhase::kPathLookup);
+      const Topology::PathView route = topology_->InteriorPath(src, dst);
+      conn->path[i].interior_off = static_cast<uint32_t>(path_pool_.size());
+      conn->path[i].interior_len = route.size;
+      path_pool_.insert(path_pool_.end(), route.begin(), route.end());
+    }
   }
   conns_.push_back(std::move(conn));
   conn_busy_mask_.push_back(0);
@@ -248,8 +257,9 @@ int Network::CountFlowsOnInteriorLink(int32_t link_id) const {
       if (c->dir[i].queued_bytes <= 0) {
         continue;
       }
-      for (const int32_t interior_id : c->path[i].interior) {
-        if (interior_id == link_id) {
+      for (const int32_t* it = PathInteriorBegin(c->path[i]); it != PathInteriorEnd(c->path[i]);
+           ++it) {
+        if (*it == link_id) {
           ++flows;
           break;
         }
@@ -270,8 +280,9 @@ double Network::InteriorLinkAllocatedBps(int32_t link_id) const {
       if (c->dir[i].queued_bytes <= 0) {
         continue;
       }
-      for (const int32_t interior_id : c->path[i].interior) {
-        if (interior_id == link_id) {
+      for (const int32_t* it = PathInteriorBegin(c->path[i]); it != PathInteriorEnd(c->path[i]);
+           ++it) {
+        if (*it == link_id) {
           bps += c->dir[i].rate_bps;
           break;
         }
@@ -416,6 +427,8 @@ int32_t Network::InteriorLinkIdForEpoch(int32_t interior_id) {
 // interior links assigned densely in first-use order while scanning open_conns_ —
 // the allocator's FP results depend on these orders (see bandwidth_allocator.h).
 void Network::RebuildAndAllocate(bool base_caps_unchanged) {
+  BULLET_PROFILE_SCOPE(ProfilePhase::kAllocatorEpoch);
+  ++allocator_epochs_;
   const int n = topology_->num_nodes();
   if (base_caps_unchanged && base_caps_.size() == static_cast<size_t>(2 * n)) {
     // Access-link capacities are verified unchanged; keep them in place.
@@ -457,8 +470,9 @@ void Network::RebuildAndAllocate(bool base_caps_unchanged) {
       flow_link_scratch_.clear();
       flow_link_scratch_.push_back(src);
       flow_link_scratch_.push_back(static_cast<int32_t>(n) + dst);
-      for (const int32_t interior_id : c->path[i].interior) {
-        flow_link_scratch_.push_back(InteriorLinkIdForEpoch(interior_id));
+      for (const int32_t* it = PathInteriorBegin(c->path[i]); it != PathInteriorEnd(c->path[i]);
+           ++it) {
+        flow_link_scratch_.push_back(InteriorLinkIdForEpoch(*it));
       }
       if (!dir.cap_steady) {
         bool steady = false;
@@ -549,14 +563,14 @@ void Network::TickFullRecompute(double dt_sec) {
       const NodeId src = c->node[i];
       const NodeId dst = c->node[1 - i];
       PathFlowSpec flow;
-      flow.links.reserve(2 + c->path[i].interior.size());
+      flow.links.reserve(2 + c->path[i].interior_len);
       flow.links.push_back(src);
       flow.links.push_back(static_cast<int32_t>(n) + dst);
-      for (const int32_t interior_id : c->path[i].interior) {
-        auto [it, inserted] =
-            interior_ids.emplace(interior_id, static_cast<int32_t>(capacities.size()));
+      for (const int32_t* pi = PathInteriorBegin(c->path[i]); pi != PathInteriorEnd(c->path[i]);
+           ++pi) {
+        auto [it, inserted] = interior_ids.emplace(*pi, static_cast<int32_t>(capacities.size()));
         if (inserted) {
-          capacities.push_back(topology_->interior_link(interior_id).bandwidth_bps);
+          capacities.push_back(topology_->interior_link(*pi).bandwidth_bps);
         }
         flow.links.push_back(it->second);
       }
@@ -568,7 +582,11 @@ void Network::TickFullRecompute(double dt_sec) {
     }
   }
 
-  AllocateMaxMinPaths(flows, capacities);
+  ++allocator_epochs_;
+  {
+    BULLET_PROFILE_SCOPE(ProfilePhase::kAllocatorEpoch);
+    AllocateMaxMinPaths(flows, capacities);
+  }
   // Shared-bottleneck introspection, mirroring RebuildAndAllocate: interior
   // link ids start at 2n; count per-link flows directly from the flow lists.
   if (capacities.size() > static_cast<size_t>(2 * n)) {
@@ -658,15 +676,35 @@ void Network::DeliverMessage(ConnId conn_id, int receiver_idx, std::unique_ptr<M
   rx_bytes_[static_cast<size_t>(receiver)] += msg->wire_bytes;
   NetHandler* h = handlers_[static_cast<size_t>(receiver)];
   if (h != nullptr) {
+    BULLET_PROFILE_SCOPE(ProfilePhase::kProtocolLogic);
     h->OnMessage(conn_id, sender, std::move(msg));
   }
+}
+
+int64_t Network::total_bytes_sent() const {
+  int64_t total = 0;
+  for (const int64_t b : tx_bytes_) {
+    total += b;
+  }
+  return total;
 }
 
 void Network::Run(SimTime until) {
   if (!tick_scheduled_) {
     ScheduleFirstTick();
   }
-  queue_.RunUntil(until);
+  events_executed_ += queue_.RunUntil(until);
+  // Publish the deltas since the last publication into the harness's installed
+  // per-run counters (if any); several networks may feed one run's totals.
+  if (RunCounters* rc = RunCounters::Current()) {
+    rc->events_executed += events_executed_ - rc_published_events_;
+    rc->allocator_epochs += allocator_epochs_ - published_epochs_;
+    const int64_t bytes = total_bytes_sent();
+    rc->sim_bytes_sent += static_cast<uint64_t>(bytes - published_bytes_);
+    rc_published_events_ = events_executed_;
+    published_epochs_ = allocator_epochs_;
+    published_bytes_ = bytes;
+  }
 }
 
 }  // namespace bullet

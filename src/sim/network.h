@@ -181,6 +181,14 @@ class Network {
   int CountFlowsOnInteriorLink(int32_t link_id) const;
   double InteriorLinkAllocatedBps(int32_t link_id) const;
 
+  // Deterministic run counters (always on, seed-reproducible; the perf gate
+  // normalizes them by wall time — see docs/PERFORMANCE.md). Run() also adds
+  // the same deltas to the thread-locally installed RunCounters, if any, so a
+  // harness can total them across the several networks one scenario may build.
+  uint64_t events_executed() const { return events_executed_; }   // queue callbacks fired
+  uint64_t allocator_epochs() const { return allocator_epochs_; } // water-fill recomputes
+  int64_t total_bytes_sent() const;  // wire bytes transmitted, all nodes
+
   // Runs the simulation until `until` or Stop().
   void Run(SimTime until);
   void Stop() { queue_.Stop(); }
@@ -229,11 +237,19 @@ class Network {
   // is dynamic — see dynamics.h), so these are the exact values the per-message
   // topology lookups would produce, without re-walking the topology per message
   // or per allocation epoch.
+  //
+  // The interior route lives as an (offset, length) slice of path_pool_ rather
+  // than a per-direction vector: the allocator rebuild walks every busy
+  // direction's route each epoch, and one contiguous pool turns those walks
+  // into sequential reads instead of a heap-pointer chase per direction (and
+  // drops two vector allocations per Connect). The pool only grows — conns_
+  // never erases — so slices stay valid for the connection's lifetime.
   struct PathCache {
     SimTime path_delay = 0;
     SimTime rtt = 0;
     double loss = 0.0;
-    std::vector<int32_t> interior;  // topology interior link ids, path order
+    uint32_t interior_off = 0;  // slice of path_pool_: interior link ids, path order
+    uint32_t interior_len = 0;
   };
 
   struct Conn {
@@ -249,6 +265,14 @@ class Network {
   const Conn* GetConn(ConnId id) const;
   // Returns 0 or 1: which endpoint `node` is; -1 if neither.
   static int EndpointIndex(const Conn& c, NodeId node);
+
+  // First interior link id of the path's pooled route slice.
+  const int32_t* PathInteriorBegin(const PathCache& path) const {
+    return path_pool_.data() + path.interior_off;
+  }
+  const int32_t* PathInteriorEnd(const PathCache& path) const {
+    return path_pool_.data() + path.interior_off + path.interior_len;
+  }
 
   void ScheduleFirstTick();
   void ScheduleNextTick();
@@ -272,6 +296,8 @@ class Network {
 
   std::vector<NetHandler*> handlers_;
   std::vector<std::unique_ptr<Conn>> conns_;  // indexed by ConnId, never reused
+  // Pooled PathCache interior routes (see PathCache); append-only.
+  std::vector<int32_t> path_pool_;
   std::vector<ConnId> open_conns_;            // compacted on quantum boundaries
   // Bit i set when conn->dir[i] is established with queued bytes. Lets the
   // rebuild scan skip idle connections with one flat byte load instead of a
@@ -315,6 +341,14 @@ class Network {
   bool alloc_dirty_ = true;   // cached rates/flows invalid; rebuild on next tick
   size_t ramping_flows_ = 0;  // flows whose TCP cap was not yet steady at rebuild
   int32_t max_interior_link_flows_ = 0;
+
+  // Always-on deterministic counters (see the public accessors). Run() pushes
+  // deltas into the installed RunCounters; published_* track what was pushed.
+  uint64_t events_executed_ = 0;
+  uint64_t allocator_epochs_ = 0;
+  uint64_t rc_published_events_ = 0;
+  uint64_t published_epochs_ = 0;
+  int64_t published_bytes_ = 0;
 
   SimTime last_tick_ = 0;
   SimTime tick_anchor_ = 0;  // time of the first tick; the grid is anchor + k*quantum

@@ -140,6 +140,75 @@ TEST(BenchCheckTest, SchemaOrScenarioMismatchIsBadInput) {
   EXPECT_EQ(Compare("[1,2,3]", Doc(10, 20), opts), kBenchCheckBadInput);
 }
 
+TEST(BenchCheckTest, AcceptsEitherAggregateSchemaVersion) {
+  BenchCheckOptions opts;
+  // Committed v2 baselines keep gating freshly generated v3 sweeps (and the
+  // reverse): the band comparison is schema-version-agnostic across v2/v3.
+  EXPECT_EQ(Compare(Doc(10, 20, "bullet-bench-v2"), Doc(10, 20, "bullet-bench-v3"), opts),
+            kBenchCheckOk);
+  EXPECT_EQ(Compare(Doc(10, 20, "bullet-bench-v3"), Doc(10, 20, "bullet-bench-v2"), opts),
+            kBenchCheckOk);
+  EXPECT_EQ(Compare(Doc(10, 20, "bullet-bench-v3"), Doc(13, 20, "bullet-bench-v3"), opts),
+            kBenchCheckRegression);
+}
+
+// A two-point bullet-floors-v1 document with the two gated throughput metrics.
+std::string FloorsDoc(double p0_events, double p1_events, double bytes = 1e6,
+                      const char* schema = "bullet-floors-v1") {
+  std::ostringstream os;
+  os << R"({"schema":")" << schema
+     << R"(","sweep":"ci","scenario":"fig04","base_seed":41,"repeats":2,"points":[)"
+     << R"({"point_index":0,"params":{"nodes":20},"wall_sec_median":1,)"
+     << R"("floors":{"events_per_wall_sec":)" << p0_events << R"(,"sim_bytes_per_wall_sec":)"
+     << bytes << R"(}},)"
+     << R"({"point_index":1,"params":{"nodes":50},"wall_sec_median":1,)"
+     << R"("floors":{"events_per_wall_sec":)" << p1_events << R"(,"sim_bytes_per_wall_sec":)"
+     << bytes << R"(}}]})";
+  return os.str();
+}
+
+TEST(BenchCheckFloorsTest, OneSidedGate) {
+  BenchCheckOptions opts;
+  // Meeting or beating every floor passes; faster is never a failure.
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), FloorsDoc(1000, 2000), opts), kBenchCheckOk);
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), FloorsDoc(9999, 99999), opts), kBenchCheckOk);
+  // One point below its events/sec floor fails, and the log names it.
+  std::string log;
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), FloorsDoc(900, 2000), opts, &log),
+            kBenchCheckRegression);
+  EXPECT_NE(log.find("FAIL point {nodes=20} events_per_wall_sec"), std::string::npos);
+  EXPECT_NE(log.find("below floor"), std::string::npos);
+}
+
+TEST(BenchCheckFloorsTest, TolerancesDoNotApply) {
+  BenchCheckOptions opts;
+  opts.rel_tol = 10.0;  // huge band in the two-sided mode...
+  // ...but the floor gate stays strict: 900 < 1000 fails regardless.
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), FloorsDoc(900, 2000), opts), kBenchCheckRegression);
+}
+
+TEST(BenchCheckFloorsTest, MixedSchemasAreBadInput) {
+  BenchCheckOptions opts;
+  // A floors baseline demands a floors current, and vice versa.
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), Doc(10, 20), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(Doc(10, 20), FloorsDoc(1000, 2000), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), FloorsDoc(1000, 2000, 1e6, "bullet-floors-v0"),
+                    opts),
+            kBenchCheckBadInput);
+}
+
+TEST(BenchCheckFloorsTest, MissingPointOrFloorIsRegression) {
+  BenchCheckOptions opts;
+  const std::string current =
+      R"({"schema":"bullet-floors-v1","scenario":"fig04","points":[)"
+      R"({"point_index":0,"params":{"nodes":20},)"
+      R"("floors":{"events_per_wall_sec":5000}}]})";
+  std::string log;
+  // Point {nodes=50} is absent and {nodes=20} lacks sim_bytes_per_wall_sec.
+  EXPECT_EQ(Compare(FloorsDoc(1000, 2000), current, opts, &log), kBenchCheckRegression);
+  EXPECT_NE(log.find("missing from current floors"), std::string::npos);
+}
+
 TEST(BenchCheckTest, PointMatchingIgnoresAxisDeclarationOrder) {
   BenchCheckOptions opts;
   const auto doc = [](const char* params) {

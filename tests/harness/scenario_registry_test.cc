@@ -91,9 +91,12 @@ TEST(ScenarioReportTest, AddCompletionAttachesStandardMetrics) {
   ASSERT_EQ(report.series().size(), 1u);
   const SeriesReport& s = report.series()[0];
   EXPECT_EQ(s.name, "SystemX");
-  ASSERT_EQ(s.metrics.size(), 4u);
+  ASSERT_EQ(s.metrics.size(), 7u);
   EXPECT_EQ(s.metrics[0].first, "dup_pct");
   EXPECT_DOUBLE_EQ(s.metrics[0].second, 12.5);
+  EXPECT_EQ(s.metrics[4].first, "net_events_executed");
+  EXPECT_EQ(s.metrics[5].first, "net_allocator_epochs");
+  EXPECT_EQ(s.metrics[6].first, "net_sim_bytes_sent");
 }
 
 }  // namespace

@@ -9,6 +9,9 @@
 #include <sstream>
 #include <vector>
 
+#include "src/harness/bench_check.h"
+#include "src/harness/json_reader.h"
+
 namespace bullet {
 namespace {
 
@@ -217,7 +220,7 @@ TEST_F(RunnerMainTest, RunWritesJson) {
   std::stringstream content;
   content << in.rdbuf();
   const std::string json = content.str();
-  EXPECT_NE(json.find("\"schema\":\"bullet-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"bullet-bench-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"scenario\":\"tiny\""), std::string::npos);
   EXPECT_NE(json.find("\"requested_options\":{\"nodes\":20}"), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"SystemX\""), std::string::npos);
@@ -241,12 +244,12 @@ TEST_F(RunnerMainTest, SweepModeWritesAggregateAndPerRunFiles) {
     return content.str();
   };
   const std::string aggregate = slurp(dir + "/BENCH_sweep_t.json");
-  EXPECT_NE(aggregate.find("\"schema\":\"bullet-bench-v2\""), std::string::npos);
+  EXPECT_NE(aggregate.find("\"schema\":\"bullet-bench-v3\""), std::string::npos);
   EXPECT_NE(aggregate.find("\"sweep\":\"t\""), std::string::npos);
   EXPECT_NE(aggregate.find("\"nodes\":8"), std::string::npos);
   for (const char* leaf : {"/BENCH_sweep_t_p0_r0.json", "/BENCH_sweep_t_p0_r1.json",
                            "/BENCH_sweep_t_p1_r0.json", "/BENCH_sweep_t_p1_r1.json"}) {
-    EXPECT_NE(slurp(dir + leaf).find("\"schema\":\"bullet-bench-v1\""), std::string::npos);
+    EXPECT_NE(slurp(dir + leaf).find("\"schema\":\"bullet-bench-v3\""), std::string::npos);
   }
 
   // Same spec again (different jobs count) must reproduce the aggregate byte for
@@ -260,6 +263,67 @@ TEST_F(RunnerMainTest, SweepModeWritesAggregateAndPerRunFiles) {
   EXPECT_EQ(aggregate, slurp(dir2 + "/BENCH_sweep_t.json"));
   std::filesystem::remove_all(dir);
   std::filesystem::remove_all(dir2);
+}
+
+TEST_F(RunnerMainTest, SweepWritesFloorsFileThatRoundTripsThroughBenchCheck) {
+  const std::string dir = ::testing::TempDir() + "/bullet_sweep_floors_test";
+  std::filesystem::remove_all(dir);
+  EXPECT_EQ(Run({"--scenario", "tiny", "--sweep", "nodes=4,8", "--repeats", "2", "--seed",
+                 "41", "--sweep-name", "t", "--out-dir", dir.c_str(), "--quiet"}),
+            0);
+
+  const auto parse = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream content;
+    content << in.rdbuf();
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(ParseJson(content.str(), &doc, &error)) << path << ": " << error;
+    return doc;
+  };
+
+  // The v3 aggregate round-trips through json_reader and self-gates clean.
+  const JsonValue aggregate = parse(dir + "/BENCH_sweep_t.json");
+  EXPECT_EQ(aggregate.StringOr("schema", ""), "bullet-bench-v3");
+  std::ostringstream log;
+  EXPECT_EQ(CompareSweepDocs(aggregate, aggregate, BenchCheckOptions{}, log), kBenchCheckOk);
+
+  // The floors companion parses, carries both gated metrics per point, and a
+  // floors baseline compared against itself passes the one-sided gate.
+  const JsonValue floors = parse(dir + "/BENCH_sweep_t_floors.json");
+  EXPECT_EQ(floors.StringOr("schema", ""), "bullet-floors-v1");
+  const JsonValue* points = floors.Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->array().size(), 2u);
+  for (const JsonValue& point : points->array()) {
+    const JsonValue* floor_metrics = point.Find("floors");
+    ASSERT_NE(floor_metrics, nullptr);
+    EXPECT_NE(floor_metrics->Find("events_per_wall_sec"), nullptr);
+    EXPECT_NE(floor_metrics->Find("sim_bytes_per_wall_sec"), nullptr);
+  }
+  std::ostringstream floors_log;
+  EXPECT_EQ(CompareSweepDocs(floors, floors, BenchCheckOptions{}, floors_log), kBenchCheckOk);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(RunnerMainTest, ProfileFlagPrintsCounterSummary) {
+  const std::string path = ::testing::TempDir() + "/bullet_runner_profile_test.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(Run({"--scenario", "tiny", "--profile", "--out", path.c_str(), "--quiet"}), 0);
+  EXPECT_NE(out_.str().find("### profile"), std::string::npos);
+  EXPECT_NE(out_.str().find("events_executed"), std::string::npos);
+  if (!PhaseProfiler::kCompiledIn) {
+    EXPECT_NE(out_.str().find("rebuild with -DBULLET_PROFILE=ON"), std::string::npos);
+  } else {
+    EXPECT_NE(out_.str().find("event_dispatch"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(RunnerMainTest, ProfileFlagRejectedInSweepMode) {
+  EXPECT_EQ(Run({"--scenario", "tiny", "--profile", "--sweep", "nodes=4,8"}), 2);
+  EXPECT_NE(err_.str().find("--profile applies to single runs only"), std::string::npos);
 }
 
 TEST_F(RunnerMainTest, SweepDuplicateAxisIsUsageError) {

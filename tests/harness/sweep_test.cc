@@ -290,9 +290,42 @@ TEST(WriteSweepJsonTest, AggregatesMedianAcrossRepeats) {
   std::ostringstream os;
   WriteSweepJson(os, outcome);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\":\"bullet-bench-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"bullet-bench-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"sweep\":\"agg\""), std::string::npos);
   EXPECT_NE(json.find("\"v\":{\"median\":3,"), std::string::npos);
+  // Profile counts appear in the aggregate only for profiled builds (counts
+  // are deterministic, so either way the document stays --jobs-invariant).
+  EXPECT_EQ(json.find("\"profile\"") != std::string::npos, PhaseProfiler::kCompiledIn);
+}
+
+TEST(WriteSweepFloorsJsonTest, EmitsMedianWallAndNormalizedThroughput) {
+  // One point, two repeats: wall 2s/4s with 600/600 events and 1200/1200 sim
+  // bytes -> median wall 3s, floors 200 events/s and 400 bytes/s.
+  SweepSpec spec;
+  spec.scenario = "s";
+  spec.name = "fl";
+  spec.repeats = 2;
+  SweepRunOutcome outcome;
+  outcome.ok = true;
+  outcome.spec = spec;
+  for (int r = 0; r < 2; ++r) {
+    ScenarioContext ctx;
+    ctx.point.point_index = 0;
+    ctx.point.repeat = r;
+    ctx.wall_sec = r == 0 ? 2.0 : 4.0;
+    ctx.counters.events_executed = 600;
+    ctx.counters.sim_bytes_sent = 1200;
+    ctx.report = ScenarioReport("s");
+    outcome.runs.push_back(std::move(ctx));
+  }
+  std::ostringstream os;
+  WriteSweepFloorsJson(os, outcome);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"bullet-floors-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_sec_median\":3,"), std::string::npos);
+  EXPECT_NE(json.find("\"events_executed_median\":600,"), std::string::npos);
+  EXPECT_NE(json.find("\"floors\":{\"events_per_wall_sec\":200,\"sim_bytes_per_wall_sec\":400}"),
+            std::string::npos);
 }
 
 }  // namespace

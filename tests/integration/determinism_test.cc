@@ -304,7 +304,7 @@ WorkloadResult RunLateJoinChurnWorkload(bool full_recompute) {
 std::string SerializeWorkload(const WorkloadResult& result) {
   ScenarioReport report("workload_determinism");
   for (const SessionResult& session : result.sessions) {
-    report.AddCompletion(session.name, ToScenarioResult(session, result.max_shared_link_flows));
+    report.AddCompletion(session.name, ToScenarioResult(session, result));
     report.AddSeries(session.name + " download", session.download_sec);
   }
   report.AddScalar("sessions_completed", result.sessions_completed);

@@ -1,9 +1,13 @@
-// CI perf gate: compares a fresh BENCH_sweep_*.json (bullet-bench-v2) against a
-// committed baseline and exits nonzero when any metric median leaves its
-// tolerance band. See README "Sweeps & perf gating".
+// CI perf gate: compares a fresh BENCH_sweep_*.json (bullet-bench-v2 or -v3)
+// against a committed baseline and exits nonzero when any metric median leaves
+// its tolerance band. A bullet-floors-v1 baseline switches to the one-sided
+// throughput-floor mode (current events/sec and sim-bytes/sec must meet the
+// committed floors; tolerances do not apply). See README "Sweeps & perf
+// gating" and docs/PERFORMANCE.md.
 //
 //   bench_check --baseline bench/baselines/ci_baseline.json --current BENCH_sweep_ci.json
 //               [--rel-tol 0.25] [--abs-tol 1e-9] [--metric-tol NAME=REL]...
+//   bench_check --baseline bench/baselines/ci_floors.json --current BENCH_sweep_ci_floors.json
 //
 // Exit codes: 0 all within tolerance, 1 regression, 2 usage/input error.
 
@@ -20,6 +24,8 @@ void PrintUsage(std::ostream& os) {
         "                   [--rel-tol FRACTION]   default relative band (0.25)\n"
         "                   [--abs-tol VALUE]      absolute floor per band (1e-9)\n"
         "                   [--metric-tol NAME=F]  per-metric relative band, repeatable\n"
+        "floors mode: a bullet-floors-v1 baseline gates one-sided\n"
+        "(current >= floor); the tolerance flags are ignored\n"
         "exit: 0 pass, 1 regression, 2 bad input\n";
 }
 
