@@ -56,6 +56,38 @@ void BitTorrent::Start() {
   // Choking timers run at every node.
   queue().ScheduleAfter(config_.rechoke_period, [this] { Rechoke(); });
   queue().ScheduleAfter(config_.optimistic_period, [this] { RotateOptimistic(); });
+  if (stream() != nullptr && !is_source()) {
+    // Streaming mode: the window also slides with the source's release clock,
+    // which no peer message announces — poll at the block cadence.
+    queue().ScheduleAfter(stream()->block_duration(), [this] { StreamRequestTick(); });
+  }
+}
+
+void BitTorrent::StreamRequestTick() {
+  if (complete() || net().queue().stopped()) {
+    return;
+  }
+  for (auto& [conn, p] : peers_) {
+    if (!p.peer_choking && p.am_interested) {
+      IssueRequests(p);
+    }
+  }
+  queue().ScheduleAfter(stream()->block_duration(), [this] { StreamRequestTick(); });
+}
+
+std::vector<uint32_t> BitTorrent::RequestableBlocksOf(uint32_t piece) const {
+  std::vector<uint32_t> out = MissingBlocksOf(piece);
+  if (stream() == nullptr) {
+    return out;
+  }
+  std::vector<uint32_t> windowed;
+  windowed.reserve(out.size());
+  for (const uint32_t b : out) {
+    if (stream()->Eligible(b, now())) {
+      windowed.push_back(b);
+    }
+  }
+  return windowed;
 }
 
 void BitTorrent::OnConnUp(ConnId conn, NodeId /*peer*/, bool initiator) {
@@ -321,7 +353,7 @@ int BitTorrent::SelectPiece(const Peer& p) {
       if (partial_only && piece_blocks_held_[piece] == 0) {
         continue;
       }
-      if (MissingBlocksOf(piece).empty()) {
+      if (RequestableBlocksOf(piece).empty()) {
         continue;
       }
       const int r = piece_rarity_[piece];
@@ -355,7 +387,7 @@ void BitTorrent::IssueRequests(Peer& p) {
       UpdateInterest(p);
       return;
     }
-    const auto missing = MissingBlocksOf(static_cast<uint32_t>(piece));
+    const auto missing = RequestableBlocksOf(static_cast<uint32_t>(piece));
     if (missing.empty()) {
       return;
     }
@@ -496,8 +528,14 @@ void RegisterBitTorrentProtocol() {
     }
     const FileParams file = env.spec->file;
     const NodeId source = env.spec->source;
-    return [config, file, source](const Protocol::Context& ctx) {
-      return std::unique_ptr<Protocol>(new BitTorrent(ctx, file, source, config));
+    const std::optional<StreamingSpec> streaming = env.spec->streaming;
+    const SimTime session_start = env.spec->start;
+    return [config, file, source, streaming, session_start](const Protocol::Context& ctx) {
+      auto p = std::make_unique<BitTorrent>(ctx, file, source, config);
+      if (streaming.has_value()) {
+        p->ConfigureStreaming(*streaming, session_start);
+      }
+      return std::unique_ptr<Protocol>(std::move(p));
     };
   };
   ProtocolRegistry::Global().Register(std::move(entry));

@@ -144,6 +144,10 @@ class BitTorrent : public DisseminationProtocol {
   bool PieceComplete(uint32_t piece) const;
   // Blocks of `piece` we still need and have not requested.
   std::vector<uint32_t> MissingBlocksOf(uint32_t piece) const;
+  // As MissingBlocksOf; streaming mode additionally restricts to blocks inside
+  // the sliding playback window (required, released, not yet held).
+  std::vector<uint32_t> RequestableBlocksOf(uint32_t piece) const;
+  void StreamRequestTick();
 
   void HandleTrackerRequest(ConnId conn, NodeId from);
   void ConnectToPeers(const std::vector<NodeId>& list);

@@ -1,5 +1,7 @@
 #include "src/baselines/splitstream.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/overlay/protocol_registry.h"
 
@@ -15,21 +17,76 @@ SplitStream::SplitStream(const Context& ctx, const FileParams& file, NodeId sour
 void SplitStream::Start() {
   // Group our stripe parents: one connection per distinct parent node, announcing
   // every stripe it feeds us on.
+  stripe_parent_.assign(static_cast<size_t>(config_.num_stripes), -1);
   std::map<NodeId, std::vector<int>> by_parent;
   for (int stripe = 0; stripe < config_.num_stripes; ++stripe) {
     const NodeId p = forest_->trees[static_cast<size_t>(stripe)].parent[static_cast<size_t>(self())];
     if (p >= 0) {
+      stripe_parent_[static_cast<size_t>(stripe)] = p;
       by_parent[p].push_back(stripe);
     }
   }
   for (const auto& [parent, stripes] : by_parent) {
-    const ConnId conn = net().Connect(self(), parent);
-    if (conn >= 0) {
-      parent_conns_[parent] = conn;
-    }
+    LinkParent(parent);
   }
   if (is_source()) {
     queue().ScheduleAfter(SecToSim(1.0), [this] { SourcePushTick(); });
+  }
+}
+
+void SplitStream::LinkParent(NodeId parent) {
+  if (parent_conns_.count(parent) != 0) {
+    return;
+  }
+  if (net().IsNodeFailed(parent)) {
+    RepairStripes(parent);  // reassigns its stripes and links the survivors
+    return;
+  }
+  if (!net().NodeJoined(parent)) {
+    // The forest spans the full member set, but this parent joins later; a
+    // hello sent now would reach a node without a protocol and be lost.
+    awaiting_join_.insert(parent);
+    if (!join_retry_scheduled_) {
+      join_retry_scheduled_ = true;
+      queue().ScheduleAfter(config_.join_retry, [this] { JoinRetryTick(); });
+    }
+    return;
+  }
+  const ConnId conn = net().Connect(self(), parent);
+  if (conn >= 0) {
+    parent_conns_[parent] = conn;  // OnConnUp announces the assigned stripes.
+  }
+}
+
+void SplitStream::JoinRetryTick() {
+  join_retry_scheduled_ = false;
+  if (net().queue().stopped() || net().IsNodeFailed(self())) {
+    return;
+  }
+  std::vector<NodeId> ready;
+  for (const NodeId p : awaiting_join_) {
+    if (net().NodeJoined(p) || net().IsNodeFailed(p)) {
+      ready.push_back(p);
+    }
+  }
+  for (const NodeId p : ready) {
+    awaiting_join_.erase(p);
+    // Only link parents that still feed us a stripe (repair may have moved
+    // every orphaned stripe elsewhere while we waited).
+    bool feeds_us = false;
+    for (int stripe = 0; stripe < config_.num_stripes; ++stripe) {
+      if (stripe_parent_[static_cast<size_t>(stripe)] == p) {
+        feeds_us = true;
+        break;
+      }
+    }
+    if (feeds_us) {
+      LinkParent(p);
+    }
+  }
+  if (!awaiting_join_.empty() && !join_retry_scheduled_) {
+    join_retry_scheduled_ = true;
+    queue().ScheduleAfter(config_.join_retry, [this] { JoinRetryTick(); });
   }
 }
 
@@ -41,9 +98,13 @@ void SplitStream::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
   if (it == parent_conns_.end() || it->second != conn) {
     return;
   }
+  up_parent_conns_.insert(conn);
+  // Announce every stripe currently assigned to this parent — the forest
+  // parents at start, plus any stripes regrafted here while the handshake
+  // was in flight.
   auto hello = std::make_unique<ss::StripeHelloMsg>();
   for (int stripe = 0; stripe < config_.num_stripes; ++stripe) {
-    if (forest_->trees[static_cast<size_t>(stripe)].parent[static_cast<size_t>(self())] == peer) {
+    if (stripe_parent_[static_cast<size_t>(stripe)] == peer) {
       hello->stripes.push_back(stripe);
     }
   }
@@ -53,7 +114,12 @@ void SplitStream::OnConnUp(ConnId conn, NodeId peer, bool initiator) {
 }
 
 void SplitStream::OnConnDown(ConnId conn, NodeId peer) {
-  parent_conns_.erase(peer);
+  up_parent_conns_.erase(conn);
+  const auto pit = parent_conns_.find(peer);
+  const bool was_parent = pit != parent_conns_.end() && pit->second == conn;
+  if (was_parent) {
+    parent_conns_.erase(pit);
+  }
   pending_.erase(conn);
   for (auto& kids : stripe_children_) {
     for (size_t i = 0; i < kids.size();) {
@@ -64,6 +130,45 @@ void SplitStream::OnConnDown(ConnId conn, NodeId peer) {
         ++i;
       }
     }
+  }
+  if (was_parent && !net().IsNodeFailed(self()) && !net().queue().stopped()) {
+    RepairStripes(peer);
+  }
+}
+
+void SplitStream::RepairStripes(NodeId failed) {
+  // Deterministic reparenting: each orphaned stripe climbs its original tree's
+  // ancestor chain from the departed parent, skipping failed nodes. The source
+  // roots every stripe tree and never departs, so the climb terminates.
+  std::map<NodeId, std::vector<int>> regraft;
+  for (int stripe = 0; stripe < config_.num_stripes; ++stripe) {
+    if (stripe_parent_[static_cast<size_t>(stripe)] != failed) {
+      continue;
+    }
+    NodeId q = failed;
+    while (q >= 0 && net().IsNodeFailed(q)) {
+      q = forest_->trees[static_cast<size_t>(stripe)].parent[static_cast<size_t>(q)];
+    }
+    if (q < 0) {
+      q = source_;
+    }
+    stripe_parent_[static_cast<size_t>(stripe)] = q;
+    regraft[q].push_back(stripe);
+  }
+  for (const auto& [parent, stripes] : regraft) {
+    auto it = parent_conns_.find(parent);
+    if (it == parent_conns_.end()) {
+      LinkParent(parent);  // OnConnUp (or the join poll) announces the stripes.
+      continue;
+    }
+    if (up_parent_conns_.count(it->second) == 0) {
+      continue;  // Handshake in flight; OnConnUp will announce these stripes too.
+    }
+    auto hello = std::make_unique<ss::StripeHelloMsg>();
+    hello->stripes = stripes;
+    hello->Finalize();
+    AccountControlOut(hello->wire_bytes);
+    net().Send(it->second, self(), std::move(hello));
   }
 }
 
@@ -91,7 +196,14 @@ void SplitStream::OnMessage(ConnId conn, NodeId /*from*/, std::unique_ptr<Messag
 
 void SplitStream::SourcePushTick() {
   const uint32_t total = file_.encoded ? file_.BlockSpace() : file_.num_blocks;
-  while (next_push_block_ < total) {
+  // Streaming mode: the source mints at the stream bitrate, not line rate. The
+  // encoded id space wraps onto playback positions (id mod n), so the paced
+  // stream keeps refilling positions a subtree missed during an outage.
+  const uint32_t released =
+      stream() == nullptr
+          ? total
+          : static_cast<uint32_t>(std::min<uint64_t>(total, stream()->BlocksReleasable(now())));
+  while (next_push_block_ < released) {
     const int stripe = static_cast<int>(next_push_block_) % config_.num_stripes;
     // Pace generation: only mint the next block when at least one child of this
     // stripe has a fully drained pipe; otherwise retry shortly. Slow children build
@@ -178,8 +290,15 @@ void RegisterSplitStreamProtocol() {
         StripeForest::Build(env.num_nodes, config.num_stripes, env.spec->source, forest_rng));
     const FileParams file = env.spec->file;
     const NodeId source = env.spec->source;
-    return [config, file, source, forest](const Protocol::Context& ctx) {
-      return std::unique_ptr<Protocol>(new SplitStream(ctx, file, source, forest.get(), config));
+    const std::optional<StreamingSpec> streaming = env.spec->streaming;
+    const SimTime session_start = env.spec->start;
+    return [config, file, source, forest, streaming,
+            session_start](const Protocol::Context& ctx) {
+      auto p = std::make_unique<SplitStream>(ctx, file, source, forest.get(), config);
+      if (streaming.has_value()) {
+        p->ConfigureStreaming(*streaming, session_start);
+      }
+      return std::unique_ptr<Protocol>(std::move(p));
     };
   };
   ProtocolRegistry::Global().Register(std::move(entry));

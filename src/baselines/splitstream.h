@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "src/baselines/stripe_forest.h"
@@ -27,6 +28,9 @@ struct SplitStreamConfig {
   int forward_queue_blocks = 4;
   SimTime drain_retry = MsToSim(20);
   SimTime source_push_retry = MsToSim(20);
+  // Poll interval while a stripe parent has not joined its session yet (the
+  // forest is built over the full member set, but members join staggered).
+  SimTime join_retry = MsToSim(500);
 };
 
 namespace ss {
@@ -62,21 +66,42 @@ class SplitStream : public DisseminationProtocol {
   void OnConnDown(ConnId conn, NodeId peer) override;
   void OnMessage(ConnId conn, NodeId from, std::unique_ptr<Message> msg) override;
 
+  // Introspection for tests: the node currently feeding us `stripe` (-1 at
+  // the stripe root, or before Start).
+  NodeId stripe_parent(int stripe) const {
+    const size_t s = static_cast<size_t>(stripe);
+    return s < stripe_parent_.size() ? stripe_parent_[s] : -1;
+  }
+
  private:
   void SourcePushTick();
   void Forward(int stripe, uint32_t id);
   void DrainPending();
+  // Reparents every stripe `failed` was feeding us: climb the original stripe
+  // tree's ancestor chain past failed nodes and graft onto the first survivor.
+  void RepairStripes(NodeId failed);
+  // Connects to `parent` if it has joined; otherwise queues it for the join
+  // poll (a StripeHello sent before the peer installs its protocol is lost).
+  void LinkParent(NodeId parent);
+  void JoinRetryTick();
 
   SplitStreamConfig config_;
   const StripeForest* forest_;
 
   // Child connections per stripe (filled from StripeHello messages).
   std::vector<std::vector<ConnId>> stripe_children_;
-  // Our parent connections: conn -> stripes it serves (diagnostics only).
+  // Current parent node per stripe (-1 at the stripe root). Starts as the
+  // forest parent and moves up the ancestor chain as parents depart.
+  std::vector<NodeId> stripe_parent_;
+  // Our parent connections, and which of them have completed their handshake.
   std::map<NodeId, ConnId> parent_conns_;
+  std::set<ConnId> up_parent_conns_;
   // Backpressured per-child forwarding queues (block ids awaiting connection space).
   std::map<ConnId, std::deque<uint32_t>> pending_;
   bool drain_scheduled_ = false;
+  // Stripe parents that had not joined their session at link time.
+  std::set<NodeId> awaiting_join_;
+  bool join_retry_scheduled_ = false;
 
   uint32_t next_push_block_ = 0;
 };

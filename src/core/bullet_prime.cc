@@ -32,7 +32,22 @@ void BulletPrime::Start() {
     push_scheduled_ = true;
     // Give children a moment to establish their tree connections.
     queue().ScheduleAfter(SecToSim(1.0), [this] { SourcePushTick(); });
+  } else if (stream() != nullptr) {
+    // Streaming mode: the sliding window opens as positions are played and as
+    // the source releases new ones — neither necessarily coincides with an
+    // arrival from the sender holding the block, so re-issue periodically.
+    queue().ScheduleAfter(stream()->block_duration(), [this] { StreamRequestTick(); });
   }
+}
+
+void BulletPrime::StreamRequestTick() {
+  if (complete() || net().queue().stopped()) {
+    return;
+  }
+  for (auto& [conn, s] : senders_) {
+    IssueRequests(s);
+  }
+  queue().ScheduleAfter(stream()->block_duration(), [this] { StreamRequestTick(); });
 }
 
 int BulletPrime::num_senders() const {
@@ -103,8 +118,14 @@ PeerSummary BulletPrime::MakeSummary() {
 void BulletPrime::SourcePushTick() {
   const auto& kids = tree_children();
   const uint32_t total = file_.encoded ? file_.BlockSpace() : file_.num_blocks;
+  // Streaming mode: the source releases blocks at the stream bitrate (the live
+  // edge) instead of blasting the whole file as fast as children drain.
+  const uint32_t released =
+      stream_ == nullptr
+          ? total
+          : static_cast<uint32_t>(std::min<uint64_t>(total, stream_->BlocksReleasable(now())));
   if (!kids.empty()) {
-    while (next_push_block_ < total) {
+    while (next_push_block_ < released) {
       bool sent = false;
       const size_t start = config_.source_random_push
                                ? static_cast<size_t>(rng().UniformInt(
@@ -506,9 +527,16 @@ void BulletPrime::IssueRequests(Sender& s) {
     return !have_.Test(id) && requested_.find(id) == requested_.end();
   };
   const auto rarity = [this](uint32_t id) { return rarity_[id]; };
+  // Streaming mode: only blocks inside the sliding playback window (and
+  // already released at the source) are requestable; the configured strategy
+  // applies within the window. Out-of-window candidates stay queued.
+  const auto eligible = [this](uint32_t id) { return stream_->Eligible(id, now()); };
   const int limit = OutstandingLimit(s);
   while (s.outstanding < limit) {
-    const auto pick = s.candidates.Pick(config_.request_strategy, valid, rarity, rng());
+    const auto pick =
+        stream_ != nullptr
+            ? s.candidates.PickWindowed(config_.request_strategy, valid, eligible, rarity, rng())
+            : s.candidates.Pick(config_.request_strategy, valid, rarity, rng());
     if (!pick.has_value()) {
       break;
     }
@@ -524,9 +552,14 @@ void BulletPrime::IssueRequests(Sender& s) {
     ++s.outstanding;
     net().Send(s.conn, self(), std::move(req));
   }
-  // About to run dry on this sender: ask for a diff (Section 3.3.4).
+  // About to run dry on this sender: ask for a diff (Section 3.3.4). In
+  // streaming mode "dry" means dry *within the window* — availability news may
+  // unlock in-window blocks even while out-of-window candidates queue up.
+  const auto dry_valid = [&](uint32_t id) {
+    return valid(id) && (stream_ == nullptr || eligible(id));
+  };
   if (!s.diff_request_inflight && !s.diff_request_exhausted &&
-      s.candidates.RunningDry(static_cast<size_t>(limit) + 1, valid)) {
+      s.candidates.RunningDry(static_cast<size_t>(limit) + 1, dry_valid)) {
     auto dreq = std::make_unique<bp::DiffRequestMsg>();
     AccountControlOut(dreq->wire_bytes);
     s.diff_request_inflight = true;
@@ -714,8 +747,14 @@ void RegisterBulletPrimeProtocol() {
     const FileParams file = env.spec->file;
     const NodeId source = env.spec->source;
     const ControlTree* tree = env.tree;
-    return [config, file, source, tree](const Protocol::Context& ctx) {
-      return std::unique_ptr<Protocol>(new BulletPrime(ctx, file, source, tree, config));
+    const std::optional<StreamingSpec> streaming = env.spec->streaming;
+    const SimTime session_start = env.spec->start;
+    return [config, file, source, tree, streaming, session_start](const Protocol::Context& ctx) {
+      auto p = std::make_unique<BulletPrime>(ctx, file, source, tree, config);
+      if (streaming.has_value()) {
+        p->ConfigureStreaming(*streaming, session_start);
+      }
+      return std::unique_ptr<Protocol>(std::move(p));
     };
   };
   ProtocolRegistry::Global().Register(std::move(entry));

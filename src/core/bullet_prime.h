@@ -96,6 +96,7 @@ class BulletPrime : public TreeOverlayProtocol {
   };
 
   void SourcePushTick();
+  void StreamRequestTick();
   void ConnectToSender(NodeId node);
   void DisconnectSender(ConnId conn, Sender& s);
   void IssueRequests(Sender& s);

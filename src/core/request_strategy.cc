@@ -24,6 +24,76 @@ std::optional<uint32_t> CandidateSet::Pick(RequestStrategy strategy, const Valid
   return std::nullopt;
 }
 
+std::optional<uint32_t> CandidateSet::PickWindowed(RequestStrategy strategy, const ValidFn& valid,
+                                                   const ValidFn& eligible, const RarityFn& rarity,
+                                                   Rng& rng) {
+  if (strategy == RequestStrategy::kFirstEncountered) {
+    // Walk discovery order: drop invalid entries, retain ineligible ones, take
+    // the first valid + eligible candidate.
+    for (auto it = fifo_.begin(); it != fifo_.end();) {
+      const uint32_t id = *it;
+      if (!valid(id)) {
+        it = fifo_.erase(it);
+        continue;
+      }
+      if (eligible(id)) {
+        fifo_.erase(it);
+        return id;
+      }
+      ++it;
+    }
+    return std::nullopt;
+  }
+
+  // One pass over vec_: invalid entries are compacted away, ineligible ones
+  // kept for a later window, and the best eligible entry picked under the
+  // strategy (uniform reservoir for kRandom; rarity with deterministic or
+  // reservoir tie-break for the rarest strategies).
+  size_t write = 0;
+  size_t best_index = SIZE_MAX;
+  uint32_t best_id = 0;
+  int best_rarity = INT32_MAX;
+  int ties = 0;
+  for (size_t read = 0; read < vec_.size(); ++read) {
+    const uint32_t id = vec_[read];
+    if (!valid(id)) {
+      continue;
+    }
+    vec_[write] = id;
+    const size_t index = write++;
+    if (!eligible(id)) {
+      continue;
+    }
+    bool better = false;
+    if (strategy == RequestStrategy::kRandom) {
+      ++ties;
+      better = rng.UniformInt(1, ties) == 1;
+    } else {
+      const int r = rarity(id);
+      if (r < best_rarity) {
+        better = true;
+        best_rarity = r;
+        ties = 1;
+      } else if (r == best_rarity) {
+        ++ties;
+        better = strategy == RequestStrategy::kRarestRandom ? rng.UniformInt(1, ties) == 1
+                                                            : id < best_id;
+      }
+    }
+    if (better) {
+      best_index = index;
+      best_id = id;
+    }
+  }
+  vec_.resize(write);
+  if (best_index == SIZE_MAX) {
+    return std::nullopt;
+  }
+  const uint32_t id = vec_[best_index];
+  RemoveAt(best_index);
+  return id;
+}
+
 std::optional<uint32_t> CandidateSet::PickFirst(const ValidFn& valid) {
   while (!fifo_.empty()) {
     const uint32_t id = fifo_.front();
@@ -58,11 +128,32 @@ std::optional<uint32_t> CandidateSet::PickRarest(const ValidFn& valid, const Rar
     int ties = 0;
     bool found_stale = false;
     const bool exhaustive = vec_.size() <= kRaritySample;
+    // Non-exhaustive sampling draws indices with replacement; a re-drawn index
+    // must not be *selectable* twice — its second reservoir win chance biased
+    // the tie-break toward duplicated entries. The dedup is draw-preserving:
+    // a duplicate keeps consuming the exact RNG draws it did pre-fix (its
+    // index draw and, on a rarity tie, its reservoir draw), so every other
+    // sampled candidate sees an identical random sequence; only the
+    // duplicate's own second win is discarded.
+    size_t sampled[kRaritySample];
+    size_t num_sampled = 0;
     for (size_t s = 0; s < sample; ++s) {
       const size_t i =
           exhaustive
               ? s
               : static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(vec_.size()) - 1));
+      bool duplicate = false;
+      if (!exhaustive) {
+        for (size_t k = 0; k < num_sampled; ++k) {
+          if (sampled[k] == i) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          sampled[num_sampled++] = i;
+        }
+      }
       const uint32_t id = vec_[i];
       if (!valid(id)) {
         found_stale = true;
@@ -82,7 +173,11 @@ std::optional<uint32_t> CandidateSet::PickRarest(const ValidFn& valid, const Rar
           better = id < best_id;  // Deterministic tie-break: the plain-rarest flaw.
         }
       }
-      if (better) {
+      // A duplicate never re-wins: its first examination already competed.
+      // (Under the deterministic tie-break this is a no-op — `id < best_id`
+      // can only fail for an id that already won — so only the reservoir
+      // path changes, and only where a duplicate's second draw had won.)
+      if (better && !duplicate) {
         best_rarity = r;
         best_index = i;
         best_id = id;

@@ -43,6 +43,16 @@ class CandidateSet {
   std::optional<uint32_t> Pick(RequestStrategy strategy, const ValidFn& valid,
                                const RarityFn& rarity, Rng& rng);
 
+  // Sliding-window pick (streaming mode): as Pick, but candidates failing
+  // `eligible` are *skipped and retained* — a block outside the playback
+  // window becomes requestable once the window slides over it, so it must not
+  // be dropped the way invalid (held/requested) entries are. The configured
+  // strategy applies within the eligible subset (rarest-random for Bullet').
+  // Scans the whole set (no sampling): eligibility partitions the candidates,
+  // and the window bounds how many entries can be eligible at once.
+  std::optional<uint32_t> PickWindowed(RequestStrategy strategy, const ValidFn& valid,
+                                       const ValidFn& eligible, const RarityFn& rarity, Rng& rng);
+
   // True if fewer than `threshold` valid candidates remain (used to trigger diff
   // requests). May scan up to threshold entries.
   bool RunningDry(size_t threshold, const ValidFn& valid) const;

@@ -276,6 +276,54 @@ const std::vector<ScenarioOptionDef>& ScenarioOptionTable() {
            json->Field("churn_model", *opts.churn_model);
          }
        }},
+      {"--stream-bitrate-mbps", "stream-bitrate-mbps", "stream_bitrate_mbps",
+       ScenarioOptionDef::Kind::kNumber, /*sweepable=*/true,
+       "--stream-bitrate-mbps requires a positive number",
+       "stream-bitrate-mbps values must be positive",
+       [](const std::string& text, ScenarioOptions* opts, std::string*) {
+         double v = 0.0;
+         if (!ParseStrictDouble(text, &v) || v <= 0.0) {
+           return false;
+         }
+         opts->stream_bitrate_mbps = v;
+         return true;
+       },
+       [](double v) { return v > 0.0; },
+       [](double v, ScenarioOptions* opts) { opts->stream_bitrate_mbps = v; },
+       [](const ScenarioOptions& opts, ScenarioConfig* cfg) {
+         if (opts.stream_bitrate_mbps) {
+           cfg->stream_bitrate_mbps = *opts.stream_bitrate_mbps;
+         }
+       },
+       [](const ScenarioOptions& opts, JsonWriter* json) {
+         if (opts.stream_bitrate_mbps) {
+           json->Field("stream_bitrate_mbps", *opts.stream_bitrate_mbps);
+         }
+       }},
+      {"--stream-window-blocks", "stream-window-blocks", "stream_window_blocks",
+       ScenarioOptionDef::Kind::kNumber, /*sweepable=*/true,
+       "--stream-window-blocks requires a positive integer",
+       "stream-window-blocks values must be positive integers",
+       [](const std::string& text, ScenarioOptions* opts, std::string*) {
+         int64_t v = 0;
+         if (!ParseStrictInt64(text, &v) || v < 1 || v > 1000000) {
+           return false;
+         }
+         opts->stream_window_blocks = static_cast<int>(v);
+         return true;
+       },
+       [](double v) { return IsIntegral(v) && v >= 1 && v <= 1000000; },
+       [](double v, ScenarioOptions* opts) { opts->stream_window_blocks = static_cast<int>(v); },
+       [](const ScenarioOptions& opts, ScenarioConfig* cfg) {
+         if (opts.stream_window_blocks) {
+           cfg->stream_window_blocks = *opts.stream_window_blocks;
+         }
+       },
+       [](const ScenarioOptions& opts, JsonWriter* json) {
+         if (opts.stream_window_blocks) {
+           json->Field("stream_window_blocks", *opts.stream_window_blocks);
+         }
+       }},
   };
   return *table;
 }

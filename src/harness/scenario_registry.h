@@ -47,6 +47,10 @@ struct ScenarioOptions {
   // Churn model selector ("none", "leaf", "stub", "gateway") for scenarios
   // that honor it (fig22_correlated_failures); others ignore it.
   std::optional<std::string> churn_model;
+  // Streaming (playback-deadline) overrides for scenarios that honor them
+  // (fig23_streaming_deadlines); bulk scenarios ignore them.
+  std::optional<double> stream_bitrate_mbps;
+  std::optional<int> stream_window_blocks;
 };
 
 class JsonWriter;

@@ -296,6 +296,12 @@ void PrintRunnerUsage(std::ostream& os) {
         "                     (fig21_churn_lifetimes); others ignore it\n"
         "  --churn-model M    none | leaf | stub | gateway — churn model for\n"
         "                     scenarios that honor it (fig22_correlated_failures)\n"
+        "  --stream-bitrate-mbps R\n"
+        "                     playback bitrate for streaming-deadline scenarios\n"
+        "                     (fig23_streaming_deadlines); others ignore it\n"
+        "  --stream-window-blocks W\n"
+        "                     sliding request-window size (blocks ahead of the\n"
+        "                     playhead) for streaming-deadline scenarios\n"
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
@@ -309,8 +315,9 @@ void PrintRunnerUsage(std::ostream& os) {
         "sim-bytes/sec per grid point for the CI throughput-floor gate):\n"
         "  --sweep key=v1,..  one grid axis (nodes, file-mb, block-bytes,\n"
         "                     deadline-sec, loss, join-fraction,\n"
-        "                     lifetime-pareto-alpha, churn-model); repeat the\n"
-        "                     flag for more axes\n"
+        "                     lifetime-pareto-alpha, churn-model,\n"
+        "                     stream-bitrate-mbps, stream-window-blocks); repeat\n"
+        "                     the flag for more axes\n"
         "  --sweep-file PATH  spec file (scenario/name/repeats/seed/set/sweep lines);\n"
         "                     command-line flags override file directives\n"
         "  --repeats R        runs per grid point (default 1)\n"

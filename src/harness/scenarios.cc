@@ -100,6 +100,17 @@ WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec
     if (cfg.force_encoded) {
       session.file.encoded = true;
     }
+    if (!session.streaming.has_value() &&
+        (cfg.stream_bitrate_mbps > 0 || cfg.stream_window_blocks > 0)) {
+      StreamingSpec stream;
+      if (cfg.stream_bitrate_mbps > 0) {
+        stream.bitrate_mbps = cfg.stream_bitrate_mbps;
+      }
+      if (cfg.stream_window_blocks > 0) {
+        stream.window_blocks = cfg.stream_window_blocks;
+      }
+      session.streaming = stream;
+    }
     exp.AddSession(session);
   }
   return exp.Run();

@@ -67,6 +67,13 @@ struct ScenarioConfig {
   // Churn model requested via --churn-model for scenarios that honor it
   // ("none", "leaf", "stub", "gateway"); empty keeps the scenario's default.
   std::string churn_model;
+  // Streaming (playback-deadline) overrides via --stream-bitrate-mbps /
+  // --stream-window-blocks. When > 0, RunScenarioWorkload turns every session
+  // that does not already carry a StreamingSpec into a streaming session with
+  // these values (each filling the other's default when only one is set);
+  // both < 0 keeps sessions in bulk mode.
+  double stream_bitrate_mbps = -1.0;
+  int stream_window_blocks = -1;
 };
 
 struct ScenarioResult {

@@ -430,18 +430,34 @@ SessionResult WorkloadExperiment::AssembleSessionResult(const Session& s) const 
     if (s.spec.members[i] == s.spec.source) {
       continue;
     }
-    const SimTime done = s.metrics->node(s.spec.members[i]).completion;
+    const NodeMetrics& nm = s.metrics->node(s.spec.members[i]);
+    const SimTime done = nm.completion;
     const double join_sec = SimToSec(s.join_at[i]);
     if (done >= 0) {
       r.completion_sec.push_back(SimToSec(done));
       r.download_sec.push_back(SimToSec(done) - join_sec);
       last_completion = std::max(last_completion, done);
+    } else if (nm.departed >= 0) {
+      // Departed without completing: excluded from the completion/download
+      // series (it would report the run deadline and skew the CDF tail); the
+      // departure is still visible through departed/departed_incomplete.
+      continue;
     } else {
       r.completion_sec.push_back(deadline_sec);
       // Clamped at zero: a join time at or past the deadline means the member
       // never joined at all — a negative "download time" would silently skew
       // the series percentiles.
       r.download_sec.push_back(std::max(0.0, deadline_sec - join_sec));
+    }
+    if (s.spec.streaming.has_value()) {
+      const PlaybackStats ps = ComputePlaybackStats(
+          *s.spec.streaming, s.spec.file.num_blocks, s.spec.file.block_bytes, s.spec.start,
+          s.join_at[i], nm.position_arrivals, params_.deadline);
+      r.stall_sec.push_back(ps.stall_sec);
+      r.missed_deadline.push_back(ps.missed_deadline);
+      r.total_stall_sec += ps.stall_sec;
+      r.total_missed_deadline += ps.missed_deadline;
+      r.playback_finished += ps.finished ? 1 : 0;
     }
   }
   r.last_join_sec = SimToSec(last_join);

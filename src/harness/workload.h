@@ -59,11 +59,24 @@ struct SessionResult {
   std::string name;      // spec.name, defaulting to the protocol's display name
   std::string protocol;  // registry key; empty for caller-supplied factories
   // Per receiver, in member order with the source excluded. Absolute sim time;
-  // receivers that never completed report the deadline.
+  // receivers that never completed report the deadline. Receivers that
+  // *departed* mid-run without completing are excluded (they are counted in
+  // `departed`/`departed_incomplete` instead): a member that left at t=80s of
+  // a 3600s run did not "take 3600s to download".
   std::vector<double> completion_sec;
   // Same order: completion relative to the receiver's own join time (the
   // number a late joiner's user experiences).
   std::vector<double> download_sec;
+  // Streaming mode only (SessionSpec::streaming); same order and the same
+  // departed-exclusion rule as completion_sec. Rebuffer time and positions
+  // late against the fixed playback schedule, per receiver.
+  std::vector<double> stall_sec;
+  std::vector<int> missed_deadline;
+  double total_stall_sec = 0.0;
+  int total_missed_deadline = 0;
+  // Receivers whose playback consumed every required position before the
+  // run deadline (streaming mode only).
+  int playback_finished = 0;
   double duplicate_fraction = 0.0;
   double control_overhead = 0.0;
   int completed = 0;

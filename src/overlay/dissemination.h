@@ -5,10 +5,12 @@
 #define SRC_OVERLAY_DISSEMINATION_H_
 
 #include <cmath>
+#include <memory>
 
 #include "src/common/bitmap.h"
 #include "src/common/sketch.h"
 #include "src/overlay/protocol.h"
+#include "src/overlay/streaming.h"
 
 namespace bullet {
 
@@ -49,12 +51,29 @@ class DisseminationProtocol : public Protocol {
   }
 
   bool complete() const {
+    if (stream_ != nullptr) {
+      // Streaming mode: done once every required position is held — an
+      // encoded id space wraps onto positions, so distinct-block counting
+      // does not apply.
+      return self() == source_ || stream_->Complete();
+    }
     return self() == source_ || have_.count() >= file_.DistinctNeeded();
   }
   const Bitmap& have() const { return have_; }
   const FileParams& file() const { return file_; }
   NodeId source() const { return source_; }
   bool is_source() const { return self() == source_; }
+
+  // Switches this node into playback-deadline mode (SessionSpec::streaming).
+  // Must be called before Start() — the protocol factory invokes it at the
+  // member's join time, which anchors the late-joiner live-edge position.
+  void ConfigureStreaming(const StreamingSpec& spec, SimTime session_start) {
+    stream_ = std::make_unique<StreamPlayback>(spec, file_.num_blocks, file_.block_bytes,
+                                               session_start, now());
+    metrics().EnableStreaming(file_.num_blocks);
+  }
+  // Null in bulk mode.
+  const StreamPlayback* stream() const { return stream_.get(); }
 
  protected:
   // Records an arriving block. Returns true if the block was new. Handles metrics
@@ -66,6 +85,8 @@ class DisseminationProtocol : public Protocol {
   // one-session rule applies: stop the network once every receiver is done.
   bool AcceptBlock(uint32_t id, int64_t wire_bytes) {
     NodeMetrics& m = metrics().node(self());
+    // Snapshot before mutating: the completing block must see was_complete=false.
+    const bool was_complete = complete();
     if (!have_.Set(id)) {
       ++m.duplicate_blocks;
       m.dup_bytes_in += wire_bytes;
@@ -77,7 +98,10 @@ class DisseminationProtocol : public Protocol {
     if (metrics().record_arrivals) {
       m.block_arrivals.push_back(now());
     }
-    if (!is_source() && have_.count() == file_.DistinctNeeded()) {
+    if (stream_ != nullptr && stream_->MarkHeld(stream_->PositionOf(id))) {
+      metrics().RecordPositionArrival(self(), stream_->PositionOf(id), now());
+    }
+    if (!is_source() && !was_complete && complete()) {
       metrics().RecordCompletion(self(), now());
       OnFileComplete();
       if (metrics().has_completion_policy()) {
@@ -100,6 +124,8 @@ class DisseminationProtocol : public Protocol {
   NodeId source_;
   Bitmap have_;
   AvailabilitySketch sketch_;
+  // Playback state when streaming mode is configured; null in bulk mode.
+  std::unique_ptr<StreamPlayback> stream_;
 };
 
 }  // namespace bullet

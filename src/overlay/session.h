@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/overlay/dissemination.h"
+#include "src/overlay/streaming.h"
 #include "src/sim/time.h"
 
 namespace bullet {
@@ -67,6 +68,12 @@ struct SessionSpec {
   // seed-derived stream (mutually exclusive with explicit join_offsets; the
   // source keeps offset zero). See workload_gen.h.
   std::shared_ptr<const ArrivalProcess> arrivals;
+  // Playback-deadline (streaming) mode: blocks acquire positions and playback
+  // deadlines derived from the bitrate, completion means "held every required
+  // position" instead of "holds the full file", and the harness reports
+  // rebuffer/stall seconds and blocks-missed-deadline per receiver. Unset (the
+  // default) keeps the bulk-transfer semantics. See overlay/streaming.h.
+  std::optional<StreamingSpec> streaming;
   // Generator-driven member lifetimes: receivers drawing a finite lifetime
   // depart mid-run (network failure + completion-policy credit), and models
   // with departs_after_completion() also leave shortly after finishing — the

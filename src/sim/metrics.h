@@ -26,6 +26,10 @@ struct NodeMetrics {
   // Arrival time of every accepted block, recorded when RunMetrics::record_arrivals
   // is set (Fig. 13 inter-arrival analysis).
   std::vector<SimTime> block_arrivals;
+  // Streaming sessions only: first-arrival time per playback position (-1 =
+  // never arrived). Empty until the node's first block (or for bulk sessions);
+  // sized lazily by RunMetrics::RecordPositionArrival.
+  std::vector<SimTime> position_arrivals;
 };
 
 class RunMetrics {
@@ -67,6 +71,26 @@ class RunMetrics {
     }
   }
   int departed_incomplete() const { return departed_incomplete_; }
+
+  // --- streaming ---
+  //
+  // Streaming sessions (SessionSpec::streaming) record the first arrival of
+  // every playback position so the harness can reconstruct each receiver's
+  // playback timeline (stall seconds, blocks missed) after the run. The
+  // protocol layer calls this from AcceptBlock; `num_positions` sizes the
+  // per-node arrival vector on first use.
+  void EnableStreaming(uint32_t num_positions) { num_positions_ = num_positions; }
+  bool streaming() const { return num_positions_ > 0; }
+  uint32_t num_positions() const { return num_positions_; }
+  void RecordPositionArrival(NodeId n, uint32_t position, SimTime t) {
+    NodeMetrics& m = node(n);
+    if (m.position_arrivals.empty()) {
+      m.position_arrivals.assign(num_positions_, -1);
+    }
+    if (position < m.position_arrivals.size() && m.position_arrivals[position] < 0) {
+      m.position_arrivals[position] = t;
+    }
+  }
 
   // Fired from inside RecordCompletion (once per node, at its completion
   // instant). The workload harness uses it to schedule post-completion
@@ -125,6 +149,7 @@ class RunMetrics {
   std::vector<NodeMetrics> nodes_;
   int completed_ = 0;
   int departed_incomplete_ = 0;  // departed members that never completed
+  uint32_t num_positions_ = 0;  // > 0: streaming session (position arrivals recorded)
   int completion_target_ = -1;  // < 0: no policy installed (legacy fallback applies)
   std::function<void()> on_all_complete_;
   std::function<void(NodeId, SimTime)> completion_observer_;

@@ -125,6 +125,11 @@ class Network {
   int num_nodes() const { return topology_->num_nodes(); }
 
   void SetHandler(NodeId node, NetHandler* handler);
+  // True once SetHandler installed a protocol for the node — i.e. the node has
+  // joined its session. Messages delivered before that are silently dropped,
+  // so membership-aware overlays (SplitStream's static stripe forest) defer
+  // handshakes to not-yet-joined peers instead of losing them.
+  bool NodeJoined(NodeId node) const { return handlers_[static_cast<size_t>(node)] != nullptr; }
 
   // Opens a connection from `from` to `to`. Both ends receive OnConnUp after
   // establishment. Messages may be sent immediately; they queue until established.

@@ -163,6 +163,141 @@ TEST(CandidateSet, ReaddMakesPickableAgain) {
   EXPECT_EQ(cs.Pick(RequestStrategy::kRandom, kAlwaysValid, kFlatRarity, rng), 42u);
 }
 
+TEST(CandidateSet, StaleOnlySampleCompactsAndRetries) {
+  // Large set where valid entries are vanishingly rare: a sampled round can
+  // draw only stale entries, which must trigger a Compact + retry on the
+  // cleaned set rather than reporting nothing to request.
+  CandidateSet cs;
+  Rng rng(9);
+  for (uint32_t id = 0; id < 20000; ++id) {
+    cs.Add(id);
+  }
+  const auto only_19999 = [](uint32_t id) { return id == 19999; };
+  for (const auto strategy : {RequestStrategy::kRarest, RequestStrategy::kRarestRandom}) {
+    const auto pick = cs.Pick(strategy, only_19999, kFlatRarity, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 19999u);
+    cs.Readd(19999);
+  }
+}
+
+TEST(CandidateSet, RunningDryThresholds) {
+  CandidateSet cs;
+  for (uint32_t id = 0; id < 100; ++id) {
+    cs.Add(id);
+  }
+  // Only ids >= 90 are still valid: exactly 10 candidates remain.
+  const auto last_ten = [](uint32_t id) { return id >= 90; };
+  EXPECT_FALSE(cs.RunningDry(1, last_ten));
+  EXPECT_FALSE(cs.RunningDry(10, last_ten));
+  EXPECT_TRUE(cs.RunningDry(11, last_ten));
+  EXPECT_TRUE(cs.RunningDry(100, last_ten));
+}
+
+TEST(CandidateSet, WindowedFirstEncounteredRetainsIneligible) {
+  // Ineligible (outside the playback window) candidates must survive the pick
+  // for a later window; invalid (already held) ones must be dropped.
+  CandidateSet cs;
+  Rng rng(10);
+  for (const uint32_t id : {4u, 1u, 7u, 2u}) {
+    cs.Add(id);
+  }
+  const auto not_4 = [](uint32_t id) { return id != 4; };  // 4 already held
+  const auto window_lo = [](uint32_t id) { return id <= 2; };
+  EXPECT_EQ(cs.PickWindowed(RequestStrategy::kFirstEncountered, not_4, window_lo, kFlatRarity, rng),
+            1u);
+  EXPECT_EQ(cs.PickWindowed(RequestStrategy::kFirstEncountered, not_4, window_lo, kFlatRarity, rng),
+            2u);
+  // Nothing eligible left, but 7 stays queued for when the window advances.
+  EXPECT_FALSE(cs.PickWindowed(RequestStrategy::kFirstEncountered, not_4, window_lo, kFlatRarity,
+                               rng)
+                   .has_value());
+  const auto window_hi = [](uint32_t id) { return id >= 5; };
+  EXPECT_EQ(cs.PickWindowed(RequestStrategy::kFirstEncountered, not_4, window_hi, kFlatRarity, rng),
+            7u);
+}
+
+TEST(CandidateSet, WindowedRarestPicksWithinWindowOnly) {
+  CandidateSet cs;
+  Rng rng(11);
+  for (uint32_t id = 0; id < 20; ++id) {
+    cs.Add(id);
+  }
+  // Id 15 is globally rarest but outside the window; 3 is the rarest inside.
+  const auto rarity = [](uint32_t id) { return id == 15 ? 1 : (id == 3 ? 2 : 5); };
+  const auto window = [](uint32_t id) { return id < 8; };
+  EXPECT_EQ(cs.PickWindowed(RequestStrategy::kRarest, kAlwaysValid, window, rarity, rng), 3u);
+  // The out-of-window rare block is still there once the window reaches it.
+  const auto all = [](uint32_t) { return true; };
+  EXPECT_EQ(cs.PickWindowed(RequestStrategy::kRarest, kAlwaysValid, all, rarity, rng), 15u);
+}
+
+TEST(CandidateSet, WindowedRarestTieBreaksMatchBulkSemantics) {
+  // kRarest: deterministic lowest-id tie-break; kRarestRandom: spread.
+  const auto window = [](uint32_t id) { return id < 10; };
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    CandidateSet cs;
+    Rng rng(seed);
+    for (const uint32_t id : {9u, 2u, 6u, 14u}) {
+      cs.Add(id);
+    }
+    EXPECT_EQ(cs.PickWindowed(RequestStrategy::kRarest, kAlwaysValid, window, kFlatRarity, rng),
+              2u);
+  }
+  std::map<uint32_t, int> first_pick;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    CandidateSet cs;
+    Rng rng(seed);
+    for (uint32_t id = 0; id < 10; ++id) {
+      cs.Add(id);
+    }
+    first_pick[*cs.PickWindowed(RequestStrategy::kRarestRandom, kAlwaysValid, window, kFlatRarity,
+                                rng)]++;
+  }
+  EXPECT_GT(first_pick.size(), 3u);
+}
+
+TEST(CandidateSet, WindowedCompactsInvalidEntries) {
+  // PickWindowed drops invalid entries as it scans — observable via RunningDry
+  // before any successful pick.
+  CandidateSet cs;
+  Rng rng(12);
+  for (uint32_t id = 0; id < 50; ++id) {
+    cs.Add(id);
+  }
+  const auto only_49 = [](uint32_t id) { return id == 49; };
+  const auto nothing_eligible = [](uint32_t) { return false; };
+  EXPECT_FALSE(
+      cs.PickWindowed(RequestStrategy::kRarest, only_49, nothing_eligible, kFlatRarity, rng)
+          .has_value());
+  EXPECT_TRUE(cs.RunningDry(2, kAlwaysValid)) << "invalid entries were not compacted";
+  EXPECT_FALSE(cs.RunningDry(1, kAlwaysValid)) << "the one valid entry was dropped";
+  const auto all = [](uint32_t) { return true; };
+  EXPECT_EQ(cs.PickWindowed(RequestStrategy::kRarest, only_49, all, kFlatRarity, rng), 49u);
+}
+
+TEST(CandidateSet, WindowedRandomCoversEligibleSet) {
+  CandidateSet cs;
+  Rng rng(13);
+  std::set<uint32_t> expected;
+  for (uint32_t id = 0; id < 16; ++id) {
+    cs.Add(id);
+    if (id < 8) {
+      expected.insert(id);
+    }
+  }
+  const auto window = [](uint32_t id) { return id < 8; };
+  std::set<uint32_t> picked;
+  while (true) {
+    const auto p = cs.PickWindowed(RequestStrategy::kRandom, kAlwaysValid, window, kFlatRarity, rng);
+    if (!p.has_value()) {
+      break;
+    }
+    EXPECT_TRUE(picked.insert(*p).second) << "duplicate pick";
+  }
+  EXPECT_EQ(picked, expected);
+}
+
 TEST(CandidateSet, LargeSetSampledRarestFindsRareBlocks) {
   // With 10k candidates the sampled strategies still find low-rarity blocks with
   // high probability when they are not vanishingly rare.
