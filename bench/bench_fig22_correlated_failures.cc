@@ -26,6 +26,8 @@
 namespace bullet {
 namespace {
 
+BULLET_SCENARIO_TRANSIT_STUB_DEFAULT(fig22_correlated_failures);
+
 BULLET_SCENARIO(fig22_correlated_failures,
                 "Extension — correlated stub/gateway outage over the transit-stub core") {
   ScenarioConfig cfg;

@@ -1,0 +1,105 @@
+// perf_core_parallel — partitioned parallel engine benchmark (no paper figure).
+//
+// Runs the same Bullet' workload over the routed transit-stub topology twice:
+// once on the serial engine (num_threads = 1) and once on the partitioned
+// multi-threaded engine (num_threads = N, one worker per transit domain
+// partition), and reports both wall clocks plus their ratio. The parallel leg
+// runs a second time and `parallel_deterministic` is 1.0 only when both
+// parallel runs agree completion-for-completion — a large-scale check that the
+// engine's results depend on the partition count, never on thread scheduling.
+//
+// The topology pins transit_delay_min to the sync quantum so the conservative
+// lookahead (min up-delay + cross-delay + min down-delay) always covers a full
+// window regardless of --nodes; see docs/ARCHITECTURE.md "Partitioned parallel
+// engine". Serial and parallel legs are compared through the usual completion
+// metrics with the baseline's relative band, not bit-identity: the sharded
+// water-fill is deterministic but may resolve exact FP share ties differently
+// from the serial allocator (src/sim/bandwidth_allocator.h documents this).
+//
+// `parallel_speedup_ok` is the CI floor for the tentpole acceptance: at 4+
+// threads the parallel engine must be >= 1.5x the serial wall clock; at 2-3
+// threads it only has to not be slower. On a machine with fewer hardware
+// threads than the worker count the bit reports vacuous success — worker
+// threads that timeshare one core cannot demonstrate wall-clock scaling, and
+// a floor that fails everywhere but CI would be regenerated into meaningless
+// values. The wall scalars always record the real measured ratio. The
+// committed baseline (bench/baselines/perf_core_parallel_baseline.json) pins
+// the bit at 1.0, so multi-core CI enforces the real floor.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "bench/session_common.h"
+#include "src/harness/scenario_registry.h"
+
+namespace bullet {
+namespace {
+
+double WallSeconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+BULLET_SCENARIO_TRANSIT_STUB_DEFAULT(perf_core_parallel);
+
+BULLET_SCENARIO(perf_core_parallel,
+                "Perf — serial vs partitioned parallel engine, transit-stub topology") {
+  ScenarioConfig cfg;
+  cfg.topo = ScenarioConfig::Topo::kTransitStub;
+  cfg.num_nodes = 500;
+  cfg.file_mb = ScaledFileMb(20.0);
+  // Finer-grained blocks than the wide-area deployment's 100 KB: per-window
+  // event work (block transfers, protocol logic) is what the partition workers
+  // spread, while the barrier's allocator epoch scales with the flow count,
+  // which block size leaves unchanged. High event density is the regime a
+  // parallel engine exists for — with 100 KB blocks at CI's file sizes the
+  // barrier dominates and Amdahl caps 4-way speedup below 1.5x regardless of
+  // implementation quality.
+  cfg.block_bytes = 25 * 1024;
+  cfg.seed = 3101;
+  cfg.deadline = SecToSim(3600.0);
+  ApplyScenarioOptions(opts, &cfg);
+  // The scenario *is* the partitioned routed graph; see fig17 for the same rule.
+  cfg.topo = ScenarioConfig::Topo::kTransitStub;
+  cfg.transit_stub = ScaledTransitStub(cfg.num_nodes);
+  // Inter-domain delay >= quantum keeps the conservative lookahead at one full
+  // sync window for every sweep size (the scaled shape's default min is 5 ms).
+  cfg.transit_stub.transit_delay_min = std::max(cfg.transit_stub.transit_delay_min, cfg.quantum);
+
+  // --threads (or the sweep's threads axis) sets the parallel leg's worker
+  // count; without it the leg runs at 4, the acceptance-gate width.
+  const int nthreads = cfg.num_threads > 1 ? cfg.num_threads : 4;
+
+  ScenarioReport report(kScenarioName);
+
+  cfg.num_threads = 1;
+  const auto t_serial = std::chrono::steady_clock::now();
+  const ScenarioResult serial = RunScenario("bullet-prime", cfg);
+  const double wall_serial = WallSeconds(t_serial);
+
+  cfg.num_threads = nthreads;
+  const auto t_par = std::chrono::steady_clock::now();
+  const ScenarioResult par = RunScenario("bullet-prime", cfg);
+  const double wall_par = WallSeconds(t_par);
+
+  // Second parallel run: same config, same seed — run-to-run determinism.
+  const ScenarioResult par2 = RunScenario("bullet-prime", cfg);
+
+  const double speedup = wall_par > 0.0 ? wall_serial / wall_par : 0.0;
+  report.AddCompletion("BulletPrime (serial engine)", serial);
+  report.AddCompletion("BulletPrime (parallel engine)", par);
+  report.AddScalar("threads", static_cast<double>(nthreads));
+  report.AddScalar("wall_sec_1thread", wall_serial);
+  report.AddScalar("wall_sec_nthreads", wall_par);
+  report.AddScalar("parallel_speedup", speedup);
+  report.AddScalar("parallel_deterministic",
+                   par.completion_sec == par2.completion_sec ? 1.0 : 0.0);
+  const bool enough_cores =
+      static_cast<int>(std::thread::hardware_concurrency()) >= nthreads;
+  report.AddScalar("parallel_speedup_ok",
+                   !enough_cores || speedup >= (nthreads >= 4 ? 1.5 : 1.0) ? 1.0 : 0.0);
+  return report;
+}
+
+}  // namespace
+}  // namespace bullet

@@ -47,6 +47,28 @@ using bullet::ParseStrictDouble;
 using bullet::ParseStrictInt64;
 using bullet::ParseStrictUint64;
 
+// --threads > 1 selects the partitioned parallel engine, whose partition cut
+// is the transit-stub domain hierarchy — a mesh run has nothing to partition.
+// Validated up front as a usage-class error (exit 2, like --profile with
+// sweep mode), not left to become a silent serial fallback or an engine-level
+// abort. `topology` is the --topology override when given; otherwise only the
+// scenario itself knows its default, via the transit-stub side registry.
+bool ValidateThreadsRequest(const std::string& scenario,
+                            const std::optional<std::string>& topology, bool threads_above_one,
+                            std::string* error) {
+  if (!threads_above_one) {
+    return true;
+  }
+  const bool transit_stub =
+      topology ? *topology == "transit-stub" : ScenarioDefaultsToTransitStub(scenario);
+  if (transit_stub) {
+    return true;
+  }
+  *error = "--threads > 1 requires a transit-stub topology, but scenario '" + scenario +
+           "' does not default to one (add --topology transit-stub or drop --threads)";
+  return false;
+}
+
 }  // namespace
 
 RunnerArgs ParseRunnerArgs(int argc, const char* const* argv) {
@@ -302,6 +324,9 @@ void PrintRunnerUsage(std::ostream& os) {
         "  --stream-window-blocks W\n"
         "                     sliding request-window size (blocks ahead of the\n"
         "                     playhead) for streaming-deadline scenarios\n"
+        "  --threads N        engine worker threads; > 1 runs the partitioned\n"
+        "                     parallel engine (transit-stub topologies only;\n"
+        "                     1 is bit-identical to the serial engine)\n"
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
@@ -316,8 +341,8 @@ void PrintRunnerUsage(std::ostream& os) {
         "  --sweep key=v1,..  one grid axis (nodes, file-mb, block-bytes,\n"
         "                     deadline-sec, loss, join-fraction,\n"
         "                     lifetime-pareto-alpha, churn-model,\n"
-        "                     stream-bitrate-mbps, stream-window-blocks); repeat\n"
-        "                     the flag for more axes\n"
+        "                     stream-bitrate-mbps, stream-window-blocks,\n"
+        "                     threads); repeat the flag for more axes\n"
         "  --sweep-file PATH  spec file (scenario/name/repeats/seed/set/sweep lines);\n"
         "                     command-line flags override file directives\n"
         "  --repeats R        runs per grid point (default 1)\n"
@@ -399,6 +424,9 @@ bool BuildSweepSpec(const RunnerArgs& args, SweepSpec* spec, std::string* error)
   if (o.churn_model) {
     spec->base.churn_model = o.churn_model;
   }
+  if (o.threads) {
+    spec->base.threads = o.threads;
+  }
   if (o.seed) {
     spec->base_seed = *o.seed;
   }
@@ -416,6 +444,18 @@ int RunSweepMode(const RunnerArgs& args, const ScenarioRegistry& registry, std::
   if (registry.Find(spec.scenario) == nullptr) {
     err << "bullet_run: unknown scenario '" << spec.scenario << "'; --list shows all "
         << registry.size() << "\n";
+    return 2;
+  }
+  bool threads_above_one = spec.base.threads && *spec.base.threads > 1;
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.key == "threads") {
+      for (const double v : axis.values) {
+        threads_above_one = threads_above_one || v > 1.0;
+      }
+    }
+  }
+  if (!ValidateThreadsRequest(spec.scenario, spec.base.topology, threads_above_one, &error)) {
+    err << "bullet_run: " << error << "\n";
     return 2;
   }
 
@@ -507,6 +547,13 @@ int RunnerMain(int argc, const char* const* argv, const ScenarioRegistry& regist
     // pipelines can tell "you asked wrong" from "the run failed".
     err << "bullet_run: unknown scenario '" << args.scenario << "'; --list shows all "
         << registry.size() << "\n";
+    return 2;
+  }
+  std::string threads_error;
+  if (!ValidateThreadsRequest(args.scenario, args.options.topology,
+                              args.options.threads && *args.options.threads > 1,
+                              &threads_error)) {
+    err << "bullet_run: " << threads_error << "\n";
     return 2;
   }
 

@@ -74,6 +74,7 @@ WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec
   params.full_recompute_allocator = cfg.full_recompute_allocator;
   params.skip_idle_ticks = cfg.skip_idle_ticks;
   params.quantum = cfg.quantum;
+  params.num_threads = cfg.num_threads;
 
   std::unique_ptr<Topology> topology = BuildScenarioTopology(cfg);
   if (workload.access_links != nullptr) {

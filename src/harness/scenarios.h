@@ -74,6 +74,11 @@ struct ScenarioConfig {
   // both < 0 keeps sessions in bulk mode.
   double stream_bitrate_mbps = -1.0;
   int stream_window_blocks = -1;
+  // Engine worker threads via --threads. > 1 requests the partitioned parallel
+  // engine (NetworkConfig::num_threads; requires a transit-stub topology — the
+  // CLI validates before the run so a mesh request is a usage error, not a
+  // serial fallback surprise). 1 is bit-identical to the serial engine.
+  int num_threads = 1;
 };
 
 struct ScenarioResult {

@@ -47,6 +47,7 @@ WorkloadExperiment::WorkloadExperiment(std::unique_ptr<Topology> topology,
                                   ? NetworkConfig::AllocatorMode::kFullRecompute
                                   : NetworkConfig::AllocatorMode::kIncremental;
   net_config.skip_idle_ticks = params.skip_idle_ticks;
+  net_config.num_threads = params.num_threads;
   net_ = std::make_unique<Network>(std::move(topology), net_config, params.seed ^ 0x9e3779b9ULL);
   member_claimed_.assign(static_cast<size_t>(net_->num_nodes()), 0);
 }
@@ -240,7 +241,11 @@ int WorkloadExperiment::AddSessionImpl(SessionSpec spec, const ProtocolRegistry:
       if (node == at(index).spec.source) {
         return;
       }
-      net_->queue().Schedule(t + linger, [this, index, node] { DepartNode(index, node); });
+      // ScheduleGlobal, not queue().Schedule: the observer fires from protocol
+      // context, which under the parallel engine is a worker thread — the
+      // departure must be staged to the global queue at the barrier (departures
+      // fail the node network-wide, a cross-partition effect).
+      net_->ScheduleGlobal(t + linger, [this, index, node] { DepartNode(index, node); });
     });
   }
   s.protocols.resize(num_members);
@@ -354,14 +359,24 @@ void WorkloadExperiment::ScheduleDynamics() {
   }
 }
 
+// Fires from RunMetrics::NotifyIfAllComplete — protocol context, which under
+// the parallel engine may be any worker thread (whichever partition recorded
+// the session's last completion). The mutex makes the flag/counter updates
+// atomic; the outcome is value-deterministic regardless of firing thread, and
+// Stop() is itself safe from worker context.
 void WorkloadExperiment::OnSessionComplete(int session) {
   Session& s = at(session);
-  if (s.complete) {
-    return;
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(complete_mu_);
+    if (s.complete) {
+      return;
+    }
+    s.complete = true;
+    ++sessions_completed_;
+    all_done = sessions_completed_ == static_cast<int>(sessions_.size());
   }
-  s.complete = true;
-  ++sessions_completed_;
-  if (sessions_completed_ == static_cast<int>(sessions_.size())) {
+  if (all_done) {
     net_->Stop();
   }
 }

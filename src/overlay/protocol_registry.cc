@@ -11,15 +11,18 @@ ProtocolRegistry& ProtocolRegistry::Global() {
 
 bool ProtocolRegistry::Register(Entry entry) {
   const std::string key = entry.key;
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_.emplace(key, std::move(entry)).second;
 }
 
 const ProtocolRegistry::Entry* ProtocolRegistry::Find(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
 std::vector<const ProtocolRegistry::Entry*> ProtocolRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Entry*> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {

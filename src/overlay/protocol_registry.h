@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <typeinfo>
 #include <vector>
@@ -68,6 +69,14 @@ class ProtocolRegistry {
   // tests may register additional protocols.
   static ProtocolRegistry& Global();
 
+  // Thread-safety: Register/Find/List/size serialize on an internal mutex, so
+  // concurrent registration and lookup (e.g. sweep workers constructing
+  // experiments while another thread's EnsureBuiltinProtocolsRegistered is
+  // mid-flight, or registry queries from parallel-engine callbacks) are safe.
+  // Returned Entry pointers stay valid and immutable forever: entries_ is a
+  // node-based map and entries are never erased or overwritten — Register of
+  // a duplicate key leaves the registry unchanged.
+
   // Returns false (and leaves the registry unchanged) on a duplicate key.
   bool Register(Entry entry);
 
@@ -75,9 +84,13 @@ class ProtocolRegistry {
   const Entry* Find(const std::string& key) const;
   // Sorted by key.
   std::vector<const Entry*> List() const;
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

@@ -1,0 +1,99 @@
+#include "src/sim/engine_parallel.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/common/profiler.h"
+
+namespace bullet {
+namespace {
+
+thread_local int g_exec_partition = -1;
+
+// Spin with a yield, falling back to a short sleep once a wait stretches past
+// a few thousand iterations. Windows are ~100µs-1ms of work, so the yield loop
+// catches almost every barrier; the sleep keeps idle pools (and TSan builds,
+// which run an order of magnitude slower) from burning cores.
+void BackoffSpin(uint32_t& spins) {
+  ++spins;
+  if (spins < 4096) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace
+
+int CurrentPartitionIndex() { return g_exec_partition; }
+
+PartitionScope::PartitionScope(int index) : prev_(g_exec_partition) {
+  g_exec_partition = index;
+}
+
+PartitionScope::~PartitionScope() { g_exec_partition = prev_; }
+
+WorkerPool::WorkerPool(int num_threads, PhaseProfiler* profiler)
+    : num_threads_(num_threads), profiler_(profiler) {
+  BULLET_CHECK(num_threads >= 1);
+  threads_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::RunOnAll(const std::function<void(int)>& fn) {
+  task_ = &fn;
+  done_.store(0, std::memory_order_relaxed);
+  // Release: workers observing the new epoch also observe task_ and every
+  // coordinator write that preceded this call (partition queues, staged state).
+  epoch_.fetch_add(1, std::memory_order_release);
+  fn(0);
+  {
+    BULLET_PROFILE_SCOPE(ProfilePhase::kBarrierWait);
+    uint32_t spins = 0;
+    // Acquire: once every worker has release-incremented done_, all their
+    // writes (partition events, shard deltas) are visible to the coordinator.
+    while (done_.load(std::memory_order_acquire) < num_threads_ - 1) {
+      BackoffSpin(spins);
+    }
+  }
+  task_ = nullptr;
+}
+
+void WorkerPool::WorkerMain(int index) {
+  PhaseProfiler* prev_profiler = nullptr;
+  if (profiler_ != nullptr) {
+    prev_profiler = PhaseProfiler::Swap(profiler_);
+  }
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    uint32_t spins = 0;
+    uint64_t e;
+    {
+      BULLET_PROFILE_SCOPE(ProfilePhase::kBarrierWait);
+      while ((e = epoch_.load(std::memory_order_acquire)) == seen_epoch) {
+        BackoffSpin(spins);
+      }
+    }
+    seen_epoch = e;
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    (*task_)(index);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+  if (profiler_ != nullptr) {
+    PhaseProfiler::Swap(prev_profiler);
+  }
+}
+
+}  // namespace bullet

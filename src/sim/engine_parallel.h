@@ -1,0 +1,94 @@
+// Worker pool and thread-context plumbing for the partitioned parallel engine.
+//
+// The parallel engine (network.cc) is a conservative-synchronization simulator:
+// nodes are partitioned by transit-stub domain, each partition owns a private
+// EventQueue, and all partitions advance in lockstep over windows of one
+// quantum (the lookahead — the minimum inter-domain delivery delay — is
+// verified to cover the quantum at partition time). Everything that crosses
+// partitions happens at the barrier between windows, on the coordinator
+// thread, in a documented deterministic order. The pool below is the only
+// piece of actual threading machinery: a fixed set of persistent workers that
+// execute one closure per superstep (or per sharded allocator round) and then
+// spin on a barrier.
+//
+// Determinism contract: the pool never introduces ordering decisions. Workers
+// run disjoint index ranges; every reduction of worker-produced data is done
+// by the caller in worker-index order. Results therefore depend on the number
+// of workers, never on thread scheduling.
+//
+// Thread-safety: RunOnAll may only be called from the thread that constructed
+// the pool. The release/acquire pair on the epoch and done counters gives the
+// closure a synchronizes-with edge on both entry and exit, so callers can hand
+// plain (unsynchronized) data structures to workers across a RunOnAll call
+// without additional fences.
+
+#ifndef SRC_SIM_ENGINE_PARALLEL_H_
+#define SRC_SIM_ENGINE_PARALLEL_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace bullet {
+
+class PhaseProfiler;
+
+// Index of the partition whose window the calling thread is currently
+// executing, or -1 on the coordinator / in serial mode. Network::now() and the
+// staging paths in Network use this to decide between partition-local and
+// global behavior.
+int CurrentPartitionIndex();
+
+// RAII setter for CurrentPartitionIndex(); the engine wraps each partition
+// window task in one of these.
+class PartitionScope {
+ public:
+  explicit PartitionScope(int index);
+  ~PartitionScope();
+
+  PartitionScope(const PartitionScope&) = delete;
+  PartitionScope& operator=(const PartitionScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+class WorkerPool {
+ public:
+  // Spawns `num_threads - 1` persistent workers; the constructing thread is
+  // participant 0. `profiler` (may be null) is installed as each worker's
+  // thread-local PhaseProfiler so barrier/merge/water-fill time spent on
+  // workers lands in the same report as the coordinator's (PhaseProfiler
+  // accumulates with relaxed atomics, so sharing one instance is safe).
+  // Workers never get a RunCounters installation: counters are published only
+  // by the coordinator.
+  WorkerPool(int num_threads, PhaseProfiler* profiler);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(i) for every i in [0, num_threads): i == 0 on the calling thread,
+  // the rest on the pool's workers. Returns once every invocation has
+  // finished. The caller's wait is attributed to the barrier_wait profile
+  // phase. Must be called from the constructing thread only.
+  void RunOnAll(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerMain(int index);
+
+  const int num_threads_;
+  PhaseProfiler* const profiler_;
+  std::atomic<uint64_t> epoch_{0};     // incremented per RunOnAll; release-published work
+  std::atomic<int> done_{0};           // workers completed in the current epoch
+  std::atomic<bool> shutdown_{false};
+  const std::function<void(int)>* task_ = nullptr;  // valid while an epoch is open
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_ENGINE_PARALLEL_H_

@@ -307,6 +307,24 @@ class RoutedTopology final : public Topology {
     return transit_stub_info_.num_stub_domains > 0 ? &transit_stub_info_ : nullptr;
   }
 
+  // Thread-safety: route state (adjacency CSR, per-source shortest-path trees,
+  // per-pair path cache) fills lazily under const queries, so concurrent
+  // InteriorPath/PathDelay calls from multiple threads race. The parallel
+  // engine's contract is: PrewarmRoutes() once at startup (single-threaded),
+  // then all path queries happen on the coordinator thread only — worker
+  // threads never query the topology (network.h documents the matching engine
+  // contract). PrewarmRoutes computes the shortest-path tree from every router
+  // an overlay node attaches to, plus the adjacency CSR, so the only state
+  // still mutating afterwards is the per-pair path cache.
+  void PrewarmRoutes() const;
+
+  // Multi-source delay-weighted Dijkstra over the router graph: distance from
+  // the nearest of `sources` to every router; -1 where unreachable. A pure
+  // query apart from lazily building the adjacency CSR. The parallel engine
+  // derives its conservative-sync lookahead (minimum cross-partition path
+  // delay) from these distances.
+  std::vector<SimTime> RouterDistancesFrom(const std::vector<int32_t>& sources) const;
+
  private:
   struct Edge {
     int32_t from = -1;
