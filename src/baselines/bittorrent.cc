@@ -9,7 +9,9 @@ namespace bullet {
 
 BitTorrent::BitTorrent(const Context& ctx, const FileParams& file, NodeId source,
                        const BitTorrentConfig& config)
-    : DisseminationProtocol(ctx, file, source), config_(config) {
+    : DisseminationProtocol(ctx, file, source),
+      config_(config),
+      peers_(ctx.net->arena_counter()) {
   piece_rarity_.assign(NumPieces(), 0);
   piece_blocks_held_.assign(NumPieces(), 0);
   if (is_source()) {

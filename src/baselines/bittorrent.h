@@ -12,7 +12,6 @@
 #ifndef SRC_BASELINES_BITTORRENT_H_
 #define SRC_BASELINES_BITTORRENT_H_
 
-#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "src/common/stats.h"
 #include "src/core/request_strategy.h"
 #include "src/overlay/dissemination.h"
+#include "src/sim/scale/stable_flat_map.h"
 
 namespace bullet {
 
@@ -162,7 +162,9 @@ class BitTorrent : public DisseminationProtocol {
 
   BitTorrentConfig config_;
 
-  std::map<ConnId, Peer> peers_;
+  // Arena-backed (mega-swarm): same ascending-ConnId iteration order as the
+  // std::map it replaced, so results stay byte-identical.
+  StableFlatMap<ConnId, Peer> peers_;
   std::set<NodeId> peer_nodes_;
   std::unordered_map<uint32_t, ConnId> requested_;  // block -> conn
   std::vector<int> piece_rarity_;                   // per piece: peers holding it

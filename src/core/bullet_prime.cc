@@ -19,7 +19,9 @@ BulletPrime::BulletPrime(const Context& ctx, const FileParams& file, NodeId sour
                          const ControlTree* tree, const BulletPrimeConfig& config)
     : TreeOverlayProtocol(ctx, file, source, tree, RanSubAgent::Config{}),
       config_(config),
-      rarity_(file.BlockSpace(), 0) {
+      senders_(ctx.net->arena_counter()),
+      rarity_(file.BlockSpace(), 0),
+      receivers_(ctx.net->arena_counter()) {
   max_senders_ = config_.initial_senders;
   max_receivers_ = config_.initial_receivers;
   sender_adapt_.max_peers = max_senders_;

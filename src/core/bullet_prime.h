@@ -12,7 +12,6 @@
 #ifndef SRC_CORE_BULLET_PRIME_H_
 #define SRC_CORE_BULLET_PRIME_H_
 
-#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "src/core/messages.h"
 #include "src/core/request_strategy.h"
 #include "src/overlay/tree_overlay.h"
+#include "src/sim/scale/stable_flat_map.h"
 
 namespace bullet {
 
@@ -114,12 +114,14 @@ class BulletPrime : public TreeOverlayProtocol {
 
   BulletPrimeConfig config_;
 
-  std::map<ConnId, Sender> senders_;
+  // Arena-backed (mega-swarm): same ascending-ConnId iteration order as the
+  // std::map it replaced, so results stay byte-identical.
+  StableFlatMap<ConnId, Sender> senders_;
   std::set<NodeId> sender_nodes_;  // active + pending, to avoid duplicate peering
   std::unordered_map<uint32_t, ConnId> requested_;  // block id -> sender conn
   std::vector<int> rarity_;                         // per block id: senders holding it
 
-  std::map<ConnId, Receiver> receivers_;
+  StableFlatMap<ConnId, Receiver> receivers_;
 
   PeerSetState sender_adapt_;
   PeerSetState receiver_adapt_;

@@ -15,6 +15,7 @@ namespace {
 // comparison itself is unchanged, so either side may be either version.
 constexpr const char* kAggregateSchemas[] = {"bullet-bench-v2", "bullet-bench-v3"};
 constexpr char kFloorsSchema[] = "bullet-floors-v1";
+constexpr char kCeilingsSchema[] = "bullet-ceilings-v1";
 
 // Canonical identity of a grid point: its params object rendered "k=v,k=v".
 // JsonValue objects are sorted maps, so equal param sets render identically no
@@ -153,11 +154,70 @@ int CompareFloorDocs(const JsonValue& baseline, const JsonValue& current, std::o
   return failed == 0 ? kBenchCheckOk : kBenchCheckRegression;
 }
 
+int CompareCeilingDocs(const JsonValue& baseline, const JsonValue& current, std::ostream& log) {
+  if (!CheckSchema(baseline, "baseline", kCeilingsSchema, log) ||
+      !CheckSchema(current, "current", kCeilingsSchema, log)) {
+    return kBenchCheckBadInput;
+  }
+  if (!CheckComparable(baseline, current, log)) {
+    return kBenchCheckBadInput;
+  }
+
+  std::map<std::string, const JsonValue*> current_points;
+  for (const JsonValue& point : current.Find("points")->array()) {
+    current_points[PointKey(point)] = &point;
+  }
+
+  int checked = 0;
+  int failed = 0;
+  for (const JsonValue& base_point : baseline.Find("points")->array()) {
+    const std::string key = PointKey(base_point);
+    const auto cur_it = current_points.find(key);
+    if (cur_it == current_points.end()) {
+      log << "FAIL point {" << key << "}: missing from current ceilings\n";
+      ++failed;
+      continue;
+    }
+    const JsonValue* base_ceilings = base_point.Find("ceilings");
+    if (base_ceilings == nullptr || !base_ceilings->is_object()) {
+      log << "bench_check: baseline point {" << key << "} has no ceilings object\n";
+      return kBenchCheckBadInput;
+    }
+    const JsonValue* cur_ceilings = cur_it->second->Find("ceilings");
+    for (const auto& [name, ceiling] : base_ceilings->object()) {
+      if (!ceiling.is_number()) {
+        continue;
+      }
+      ++checked;
+      const JsonValue* cur_v = cur_ceilings != nullptr ? cur_ceilings->Find(name) : nullptr;
+      if (cur_v == nullptr || !cur_v->is_number()) {
+        log << "FAIL point {" << key << "} " << name
+            << ": metric missing from current ceilings\n";
+        ++failed;
+        continue;
+      }
+      if (cur_v->number() > ceiling.number()) {
+        log << "FAIL point {" << key << "} " << name << ": current " << cur_v->number()
+            << " above ceiling " << ceiling.number() << "\n";
+        ++failed;
+      }
+    }
+  }
+
+  log << "bench_check: " << checked << " memory ceilings checked, " << failed
+      << " above ceiling\n";
+  return failed == 0 ? kBenchCheckOk : kBenchCheckRegression;
+}
+
 int CompareSweepDocs(const JsonValue& baseline, const JsonValue& current,
                      const BenchCheckOptions& opts, std::ostream& log) {
-  // A floors baseline selects the one-sided throughput gate.
+  // A floors baseline selects the one-sided throughput gate; a ceilings
+  // baseline the one-sided memory gate.
   if (baseline.is_object() && baseline.StringOr("schema", "") == kFloorsSchema) {
     return CompareFloorDocs(baseline, current, log);
+  }
+  if (baseline.is_object() && baseline.StringOr("schema", "") == kCeilingsSchema) {
+    return CompareCeilingDocs(baseline, current, log);
   }
   if (!CheckSchema(baseline, "baseline", nullptr, log) ||
       !CheckSchema(current, "current", nullptr, log)) {

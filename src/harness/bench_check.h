@@ -53,6 +53,14 @@ int CompareSweepDocs(const JsonValue& baseline, const JsonValue& current,
 // when the baseline carries the floors schema.
 int CompareFloorDocs(const JsonValue& baseline, const JsonValue& current, std::ostream& log);
 
+// Memory-ceiling mode (schema bullet-ceilings-v1 on both sides): the floors
+// mechanism inverted. For every baseline point, each metric under its
+// `ceilings` object must satisfy current <= ceiling — using *less* memory is
+// never a failure. Ceilings gate deterministic byte counters (route cache,
+// path pools, arena peak), never RSS, so the comparison is machine-independent.
+// CompareSweepDocs dispatches here automatically on a ceilings baseline.
+int CompareCeilingDocs(const JsonValue& baseline, const JsonValue& current, std::ostream& log);
+
 // File-based wrapper: parses both paths then delegates to CompareSweepDocs.
 int CompareSweepFiles(const std::string& baseline_path, const std::string& current_path,
                       const BenchCheckOptions& opts, std::ostream& log, std::ostream& err);

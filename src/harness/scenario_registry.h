@@ -55,6 +55,11 @@ struct ScenarioOptions {
   // parallel engine and are only valid with a transit-stub topology; the
   // runner validates the combination up front (exit-2 usage error).
   std::optional<int> threads;
+  // Mega-swarm scale knobs, 0/1 (--compress-routes / --aggregate-flows; see
+  // ScenarioConfig). Scenarios on non-transit-stub topologies ignore
+  // compress_routes like any other inapplicable override.
+  std::optional<int> compress_routes;
+  std::optional<int> aggregate_flows;
 };
 
 class JsonWriter;

@@ -262,6 +262,19 @@ void PrintProfileSummary(std::ostream& os, const RunCounters& counters,
   os << "sim_bytes_sent      = " << counters.sim_bytes_sent << "  ("
      << static_cast<uint64_t>(static_cast<double>(counters.sim_bytes_sent) / denom)
      << " bytes/s)\n";
+  // Peak RSS is machine/allocator-dependent, so it is informational output
+  // only — it must never land in a BENCH json (those stay byte-identical
+  // across machines; the gated memory telemetry is the deterministic byte
+  // counters instead). Linux-only: VmHWM from /proc/self/status.
+  if (std::ifstream status{"/proc/self/status"}; status) {
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("VmHWM:", 0) == 0) {
+        os << "peak_rss            =" << line.substr(6) << "  (informational)\n";
+        break;
+      }
+    }
+  }
   if (!PhaseProfiler::kCompiledIn) {
     os << "(per-phase timings unavailable: rebuild with -DBULLET_PROFILE=ON)\n";
     return;
@@ -327,6 +340,14 @@ void PrintRunnerUsage(std::ostream& os) {
         "  --threads N        engine worker threads; > 1 runs the partitioned\n"
         "                     parallel engine (transit-stub topologies only;\n"
         "                     1 is bit-identical to the serial engine)\n"
+        "  --compress-routes B\n"
+        "                     1 caches shared gateway-to-gateway route segments\n"
+        "                     and composes per-pair routes lazily (transit-stub\n"
+        "                     only; composed routes are bitwise-identical)\n"
+        "  --aggregate-flows B\n"
+        "                     1 water-fills bundles of flows sharing an interior\n"
+        "                     route instead of individual flows (mega-swarm\n"
+        "                     mode; NOT bit-identical to the default allocator)\n"
         "  --out PATH         metrics JSON path (default BENCH_<scenario>.json; sweeps:\n"
         "                     aggregate path, default BENCH_sweep_<name>.json)\n"
         "  --quiet            suppress the summary table / CDF dump on stdout\n"
@@ -342,7 +363,8 @@ void PrintRunnerUsage(std::ostream& os) {
         "                     deadline-sec, loss, join-fraction,\n"
         "                     lifetime-pareto-alpha, churn-model,\n"
         "                     stream-bitrate-mbps, stream-window-blocks,\n"
-        "                     threads); repeat the flag for more axes\n"
+        "                     threads, compress-routes, aggregate-flows);\n"
+        "                     repeat the flag for more axes\n"
         "  --sweep-file PATH  spec file (scenario/name/repeats/seed/set/sweep lines);\n"
         "                     command-line flags override file directives\n"
         "  --repeats R        runs per grid point (default 1)\n"
@@ -427,6 +449,12 @@ bool BuildSweepSpec(const RunnerArgs& args, SweepSpec* spec, std::string* error)
   if (o.threads) {
     spec->base.threads = o.threads;
   }
+  if (o.compress_routes) {
+    spec->base.compress_routes = o.compress_routes;
+  }
+  if (o.aggregate_flows) {
+    spec->base.aggregate_flows = o.aggregate_flows;
+  }
   if (o.seed) {
     spec->base_seed = *o.seed;
   }
@@ -507,6 +535,16 @@ int RunSweepMode(const RunnerArgs& args, const ScenarioRegistry& registry, std::
   if (!write_json(floors_path,
                   [&outcome](std::ostream& os) { WriteSweepFloorsJson(os, outcome); })) {
     return 1;
+  }
+  // Memory-ceilings companion, only for sweeps whose scenario reports the
+  // deterministic memory-byte scalars (fig24_megaswarm); the CI memory gate
+  // diffs it against a committed bullet-ceilings-v1 baseline.
+  if (SweepHasCeilingMetrics(outcome)) {
+    const std::string ceilings_path = args.out_dir + "/BENCH_sweep_" + tag + "_ceilings.json";
+    if (!write_json(ceilings_path,
+                    [&outcome](std::ostream& os) { WriteSweepCeilingsJson(os, outcome); })) {
+      return 1;
+    }
   }
 
   if (!args.quiet) {

@@ -45,7 +45,11 @@ std::unique_ptr<Topology> BuildScenarioTopology(const ScenarioConfig& cfg) {
       params.num_nodes = cfg.num_nodes;
       params.transit_loss_min = cfg.loss_min;
       params.transit_loss_max = cfg.loss_max;
-      return std::make_unique<RoutedTopology>(RoutedTopology::TransitStub(params, rng));
+      auto topo = std::make_unique<RoutedTopology>(RoutedTopology::TransitStub(params, rng));
+      if (cfg.compress_routes) {
+        topo->EnableSegmentCompression();
+      }
+      return topo;
     }
   }
   MeshTopology::MeshParams mesh;
@@ -75,6 +79,7 @@ WorkloadResult RunScenarioWorkload(const ScenarioConfig& cfg, const WorkloadSpec
   params.skip_idle_ticks = cfg.skip_idle_ticks;
   params.quantum = cfg.quantum;
   params.num_threads = cfg.num_threads;
+  params.aggregate_flows = cfg.aggregate_flows;
 
   std::unique_ptr<Topology> topology = BuildScenarioTopology(cfg);
   if (workload.access_links != nullptr) {
@@ -130,6 +135,9 @@ ScenarioResult ToScenarioResult(const SessionResult& session, const WorkloadResu
   result.events_executed = run.events_executed;
   result.allocator_epochs = run.allocator_epochs;
   result.sim_bytes_sent = run.sim_bytes_sent;
+  result.route_cache_bytes = run.route_cache_bytes;
+  result.path_pool_bytes = run.path_pool_bytes;
+  result.arena_peak_bytes = run.arena_peak_bytes;
   return result;
 }
 

@@ -79,6 +79,14 @@ struct ScenarioConfig {
   // CLI validates before the run so a mesh request is a usage error, not a
   // serial fallback surprise). 1 is bit-identical to the serial engine.
   int num_threads = 1;
+  // Mega-swarm scale knobs (fig24; --compress-routes / --aggregate-flows).
+  // compress_routes caches gateway-to-gateway interior segments once and
+  // composes per-pair routes lazily (transit-stub only; composed routes are
+  // bitwise-identical to the direct computation, so any scenario may enable
+  // it). aggregate_flows water-fills bundles of flows sharing an interior
+  // route instead of individual flows — NOT bit-identical, opt-in only.
+  bool compress_routes = false;
+  bool aggregate_flows = false;
 };
 
 struct ScenarioResult {
@@ -100,6 +108,11 @@ struct ScenarioResult {
   uint64_t events_executed = 0;
   uint64_t allocator_epochs = 0;
   uint64_t sim_bytes_sent = 0;
+  // End-of-run memory telemetry (deterministic byte counters; see
+  // WorkloadResult). Zero on mesh topologies / protocols without arena state.
+  uint64_t route_cache_bytes = 0;
+  uint64_t path_pool_bytes = 0;
+  uint64_t arena_peak_bytes = 0;
 };
 
 // Builds the topology for `cfg` (deterministic in cfg.seed).

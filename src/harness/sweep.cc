@@ -539,4 +539,83 @@ void WriteSweepFloorsJson(std::ostream& os, const SweepRunOutcome& outcome) {
   os << "\n";
 }
 
+namespace {
+
+// The deterministic memory-byte scalars the ceilings gate understands, in
+// emission order. Scenarios opt in by AddScalar-ing them (fig24_megaswarm).
+constexpr const char* kCeilingMetrics[] = {"arena_peak_bytes", "path_pool_bytes",
+                                           "route_cache_bytes"};
+
+}  // namespace
+
+bool SweepHasCeilingMetrics(const SweepRunOutcome& outcome) {
+  for (const ScenarioContext& ctx : outcome.runs) {
+    if (!ctx.report) {
+      continue;
+    }
+    for (const auto& [key, value] : ctx.report->scalars()) {
+      for (const char* name : kCeilingMetrics) {
+        if (key == name) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void WriteSweepCeilingsJson(std::ostream& os, const SweepRunOutcome& outcome) {
+  const SweepSpec& spec = outcome.spec;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.Field("schema", "bullet-ceilings-v1");
+  json.Field("sweep", spec.OutputName());
+  json.Field("scenario", spec.scenario);
+  json.Field("base_seed", spec.base_seed);
+  json.Field("repeats", static_cast<int64_t>(spec.repeats));
+  json.Field("repro_scale", GetReproScale().file_scale);
+
+  json.Key("points").BeginArray();
+  for (size_t i = 0; i < outcome.runs.size(); i += static_cast<size_t>(spec.repeats)) {
+    const ScenarioContext& first = outcome.runs[i];
+    json.BeginObject();
+    json.Field("point_index", static_cast<int64_t>(first.point.point_index));
+    json.Key("params").BeginObject();
+    for (const auto& [key, value] : first.point.params) {
+      if (value.is_string) {
+        json.Field(key, value.text);
+      } else {
+        json.Field(key, value.number);
+      }
+    }
+    json.EndObject();
+
+    json.Key("ceilings").BeginObject();
+    for (const char* name : kCeilingMetrics) {
+      std::vector<double> values;
+      for (int r = 0; r < spec.repeats; ++r) {
+        const ScenarioContext& ctx = outcome.runs[i + static_cast<size_t>(r)];
+        if (!ctx.report) {
+          continue;
+        }
+        for (const auto& [key, value] : ctx.report->scalars()) {
+          if (key == name) {
+            values.push_back(value);
+          }
+        }
+      }
+      if (!values.empty()) {
+        std::sort(values.begin(), values.end());
+        json.Field(name, PercentileSorted(values, 0.50));
+      }
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.EndObject();
+  os << "\n";
+}
+
 }  // namespace bullet

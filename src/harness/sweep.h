@@ -155,6 +155,19 @@ void WriteSweepJson(std::ostream& os, const SweepRunOutcome& outcome);
 // machine-dependent by design and is written separately from the aggregate.
 void WriteSweepFloorsJson(std::ostream& os, const SweepRunOutcome& outcome);
 
+// True when any run's report carries one of the deterministic memory-byte
+// scalars (route_cache_bytes / path_pool_bytes / arena_peak_bytes) — the
+// runner writes the ceilings companion only for such sweeps.
+bool SweepHasCeilingMetrics(const SweepRunOutcome& outcome);
+
+// Serializes the companion bullet-ceilings-v1 document: per grid point, the
+// median of each memory-byte scalar across repeats, under a `ceilings` object.
+// The CI memory gate compares a fresh document against a committed one with
+// the floors mechanism inverted: current must stay at or *below* every
+// committed ceiling. The scalars are deterministic byte counters (never RSS),
+// so this document is byte-identical across --jobs like the aggregate.
+void WriteSweepCeilingsJson(std::ostream& os, const SweepRunOutcome& outcome);
+
 }  // namespace bullet
 
 #endif  // SRC_HARNESS_SWEEP_H_

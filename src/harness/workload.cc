@@ -48,6 +48,7 @@ WorkloadExperiment::WorkloadExperiment(std::unique_ptr<Topology> topology,
                                   : NetworkConfig::AllocatorMode::kIncremental;
   net_config.skip_idle_ticks = params.skip_idle_ticks;
   net_config.num_threads = params.num_threads;
+  net_config.aggregate_flows = params.aggregate_flows;
   net_ = std::make_unique<Network>(std::move(topology), net_config, params.seed ^ 0x9e3779b9ULL);
   member_claimed_.assign(static_cast<size_t>(net_->num_nodes()), 0);
 }
@@ -419,6 +420,9 @@ WorkloadResult WorkloadExperiment::Run() {
   result.events_executed = net_->events_executed();
   result.allocator_epochs = net_->allocator_epochs();
   result.sim_bytes_sent = static_cast<uint64_t>(net_->total_bytes_sent());
+  result.route_cache_bytes = static_cast<uint64_t>(net_->route_cache_bytes());
+  result.path_pool_bytes = static_cast<uint64_t>(net_->path_pool_bytes());
+  result.arena_peak_bytes = static_cast<uint64_t>(net_->arena_peak_bytes());
   return result;
 }
 

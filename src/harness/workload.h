@@ -59,6 +59,10 @@ struct WorkloadParams {
   // allocator mode, serial fallback otherwise. 1 is bit-identical to the
   // serial engine.
   int num_threads = 1;
+  // Bundle flows sharing an interior route before water-filling
+  // (NetworkConfig::aggregate_flows). Mega-swarm mode: conservation and
+  // feasibility are exact but rates are not bit-identical to the default.
+  bool aggregate_flows = false;
 };
 
 struct SessionResult {
@@ -112,6 +116,13 @@ struct WorkloadResult {
   uint64_t events_executed = 0;
   uint64_t allocator_epochs = 0;
   uint64_t sim_bytes_sent = 0;
+  // Memory telemetry at the end of the run (deterministic byte counters, not
+  // RSS): routed-topology route cache, flow path pools, and the peak of the
+  // arena-backed per-node protocol state. See docs/ARCHITECTURE.md
+  // "Mega-swarm memory model"; the megaswarm sweep gates ceilings on these.
+  uint64_t route_cache_bytes = 0;
+  uint64_t path_pool_bytes = 0;
+  uint64_t arena_peak_bytes = 0;
 };
 
 // Registers the four built-in systems (bullet-prime, bullet, bittorrent,

@@ -52,6 +52,10 @@ Network::Network(std::unique_ptr<Topology> topology, NetworkConfig config, uint6
   const size_t interior_ids = static_cast<size_t>(topology_->interior_id_limit());
   interior_epoch_.assign(interior_ids, 0);
   interior_link_id_.assign(interior_ids, -1);
+  BULLET_CHECK((!config_.aggregate_flows ||
+                config_.allocator_mode == NetworkConfig::AllocatorMode::kIncremental) &&
+               "aggregate_flows requires the incremental allocator mode");
+  current_rates_ = &alloc_.rates();
   BuildPartitions();
 }
 
@@ -585,11 +589,21 @@ void Network::RebuildAndAllocate(bool base_caps_unchanged) {
     }
   }
 
-  alloc_.Allocate();
-  // Shared-bottleneck introspection: widest interior link of this epoch (links
-  // below 2n are access links). The CSR row widths are valid after Allocate().
-  for (size_t l = static_cast<size_t>(2 * n); l < alloc_.num_links(); ++l) {
-    max_interior_link_flows_ = std::max(max_interior_link_flows_, alloc_.flows_on_link(l));
+  if (config_.aggregate_flows) {
+    // Aggregated water-fill: bundles over the interior links only; the member
+    // split and access-link bounds happen inside the aggregator.
+    aggregator_.Allocate(alloc_, static_cast<size_t>(2 * n));
+    current_rates_ = &aggregator_.rates();
+    max_interior_link_flows_ =
+        std::max(max_interior_link_flows_, aggregator_.max_interior_link_flows());
+  } else {
+    alloc_.Allocate();
+    current_rates_ = &alloc_.rates();
+    // Shared-bottleneck introspection: widest interior link of this epoch (links
+    // below 2n are access links). The CSR row widths are valid after Allocate().
+    for (size_t l = static_cast<size_t>(2 * n); l < alloc_.num_links(); ++l) {
+      max_interior_link_flows_ = std::max(max_interior_link_flows_, alloc_.flows_on_link(l));
+    }
   }
   // Ramping caps change next quantum, which changes the allocation; otherwise the
   // cached result stays exact until an activation/drain/close/capacity change.
@@ -607,7 +621,7 @@ void Network::AdvanceTransmissions(double dt_sec) {
     if (dir.queue.empty()) {
       continue;
     }
-    dir.rate_bps = alloc_.rate(fi);
+    dir.rate_bps = (*current_rates_)[fi];
     dir.tcp.last_busy = now();
     double budget = dir.rate_bps / 8.0 * dt_sec;
     while (!dir.queue.empty() && budget >= dir.queue.front().remaining_bytes) {
@@ -788,6 +802,19 @@ int64_t Network::total_bytes_sent() const {
     total += b;
   }
   return total;
+}
+
+size_t Network::route_cache_bytes() const {
+  const RoutedTopology* routed = topology_->AsRouted();
+  return routed != nullptr ? routed->route_cache_bytes() : 0;
+}
+
+size_t Network::path_pool_bytes() const {
+  size_t bytes = path_pool_.capacity() * sizeof(int32_t);
+  for (const auto& part : partitions_) {
+    bytes += part->path_pool.capacity() * sizeof(int32_t);
+  }
+  return bytes;
 }
 
 void Network::Stop() {
@@ -1096,9 +1123,21 @@ void Network::RebuildAndAllocateParallel(bool base_caps_unchanged) {
                        c->dir[i].cap_cache);
   }
 
-  alloc_.AllocateParallel(pool_.get());
-  for (size_t l = static_cast<size_t>(2 * n); l < alloc_.num_links(); ++l) {
-    max_interior_link_flows_ = std::max(max_interior_link_flows_, alloc_.flows_on_link(l));
+  if (config_.aggregate_flows) {
+    // The aggregated water-fill runs serially at the barrier: the bundle
+    // count it allocates over is far below the flow count that makes the
+    // sharded fill worthwhile, and serial execution keeps it deterministic
+    // and identical to the serial engine's aggregated epoch.
+    aggregator_.Allocate(alloc_, static_cast<size_t>(2 * n));
+    current_rates_ = &aggregator_.rates();
+    max_interior_link_flows_ =
+        std::max(max_interior_link_flows_, aggregator_.max_interior_link_flows());
+  } else {
+    alloc_.AllocateParallel(pool_.get());
+    current_rates_ = &alloc_.rates();
+    for (size_t l = static_cast<size_t>(2 * n); l < alloc_.num_links(); ++l) {
+      max_interior_link_flows_ = std::max(max_interior_link_flows_, alloc_.flows_on_link(l));
+    }
   }
   alloc_dirty_ = ramping_flows_ > 0;
 }

@@ -113,6 +113,8 @@
 #include "src/sim/bandwidth_allocator.h"
 #include "src/sim/engine_parallel.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/scale/arena.h"
+#include "src/sim/scale/flow_aggregation.h"
 #include "src/sim/tcp_model.h"
 #include "src/sim/time.h"
 #include "src/sim/topology.h"
@@ -164,6 +166,18 @@ struct NetworkConfig {
   // router, fewer if the lookahead check demands it) and silently falls back
   // to the serial engine when no valid multi-partition plan exists.
   int num_threads = 1;
+
+  // Mega-swarm mode: water-fill *bundles* of flows sharing an identical
+  // interior route instead of individual flows (src/sim/scale/
+  // flow_aggregation.h). Epoch cost scales with bundles (bounded by ordered
+  // router pairs on a transit-stub graph) rather than live flows. NOT
+  // bit-identical to the exact allocator — access links are treated as
+  // locally fair (capacity/k member caps) and intra-bundle competition at the
+  // interior bottleneck is replaced by the bounded split — but conservation
+  // and link feasibility hold exactly (allocator_invariants tests pin the
+  // deviation). Default off: the exact path is untouched and byte-identical.
+  // Requires kIncremental mode.
+  bool aggregate_flows = false;
 };
 
 class Network {
@@ -270,6 +284,22 @@ class Network {
   uint64_t events_executed() const { return events_executed_; }   // queue callbacks fired
   uint64_t allocator_epochs() const { return allocator_epochs_; } // water-fill recomputes
   int64_t total_bytes_sent() const;  // wire bytes transmitted, all nodes
+
+  // --- mega-swarm memory telemetry (deterministic byte counters; see
+  // docs/ARCHITECTURE.md "Mega-swarm memory model"). The harness surfaces
+  // these per run and the megaswarm sweep gates them against a committed
+  // ceiling baseline (bytes <= baseline; bench_check bullet-ceilings-v1).
+  // Routing state held by the topology (0 on mesh topologies).
+  size_t route_cache_bytes() const;
+  // Pooled per-connection interior-route slices, every store (main +
+  // partition pools).
+  size_t path_pool_bytes() const;
+  // Protocol node-state arenas registered via arena_counter(): live bytes now
+  // and the run's peak.
+  int64_t arena_current_bytes() const { return arena_counter_.current_bytes(); }
+  int64_t arena_peak_bytes() const { return arena_counter_.peak_bytes(); }
+  // The counter protocol node-state containers (StableFlatMap) register with.
+  ArenaCounter* arena_counter() { return &arena_counter_; }
 
   // Runs the simulation until `until` or Stop().
   void Run(SimTime until);
@@ -527,6 +557,14 @@ class Network {
 
   // --- incremental tick state ---
   IncrementalMaxMin alloc_;
+  // Aggregated water-fill engine (config_.aggregate_flows) and the rate
+  // vector AdvanceTransmissions reads: alloc_.rates() on the exact path,
+  // aggregator_.rates() on the aggregated one. The indirection is set by every
+  // rebuild and never dangles (both vectors live as long as the network).
+  FlowAggregator aggregator_;
+  const std::vector<double>* current_rates_ = nullptr;
+  // Live/peak bytes of protocol node-state arenas (see arena_counter()).
+  ArenaCounter arena_counter_;
   // (conn, direction) per allocated flow, in allocation order; parallel to
   // alloc_.rates(). Valid until the next rebuild. Conn objects are heap-pinned
   // (conns_ holds unique_ptrs and never erases), so raw pointers stay valid.

@@ -1,0 +1,98 @@
+// Aggregated max-min water-filling for the mega-swarm regime.
+//
+// The exact allocator water-fills every flow individually, so an epoch costs
+// O(F log F) with F = live flows — at 100k members with tens of peers each,
+// the interior water-fill dominates the tick. FlowAggregator trades exactness
+// for scale with a two-level allocation:
+//
+//   1. Per-flow member caps. Access links (a node's uplink/downlink) are
+//      private to that node, so their max-min behaviour is predictable: each
+//      of the k busy flows on an access link gets at most capacity/k. A flow's
+//      member cap is min(tcp cap, up_cap/k_up, down_cap/k_down).
+//   2. Bundles. Flows whose routes traverse the *identical* interior link
+//      sequence are grouped into one bundle with cap = sum of member caps.
+//      Bundles — not flows — are water-filled over the interior links (an
+//      IncrementalMaxMin epoch with B bundles instead of F flows; on a
+//      transit-stub topology B is bounded by ordered router pairs, not pairs
+//      of nodes), and each bundle's rate is split back to members by a
+//      bounded water-fill that distributes exactly the bundle rate subject to
+//      the member caps.
+//
+// Invariants (flow_aggregation_test pins these):
+//   * conservation — member rates of a bundle sum to the bundle rate (the
+//     split subtracts each grant from one running remainder, so the sum
+//     telescopes; the last member absorbs the exact residue);
+//   * feasibility — per interior link, bundle rates are a max-min allocation
+//     of the link capacities, and member sums equal bundle rates, so no
+//     interior link is oversubscribed; each access link's flows sum to at
+//     most capacity (every member cap is at most capacity/k);
+//   * determinism — bundles form in first-use flow order, members split in
+//     ascending (member cap, flow index) order; same epoch, same bits.
+//
+// This mode is *not* bit-identical to the exact allocator: flows inside a
+// bundle no longer compete individually at the interior bottleneck, and the
+// member-cap bound treats access links as locally fair rather than globally
+// water-filled. It is opt-in via NetworkConfig::aggregate_flows; the default
+// path never constructs this class and stays byte-identical.
+
+#ifndef SRC_SIM_SCALE_FLOW_AGGREGATION_H_
+#define SRC_SIM_SCALE_FLOW_AGGREGATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/sim/bandwidth_allocator.h"
+
+namespace bullet {
+
+class FlowAggregator {
+ public:
+  // Computes per-flow rates from `epoch`'s registered inputs (between the last
+  // AddFlow* and Allocate(); this replaces epoch.Allocate()). Links with id <
+  // `num_access_links` are access links (the network's uplink/downlink block);
+  // the rest are the epoch's dense interior ids. Results are readable via
+  // rates() until the next call.
+  void Allocate(const IncrementalMaxMin& epoch, size_t num_access_links);
+
+  const std::vector<double>& rates() const { return rates_; }
+
+  // Introspection for the shared-bottleneck telemetry and tests.
+  int32_t max_interior_link_flows() const { return max_interior_link_flows_; }
+  size_t num_bundles() const { return bundles_.size(); }
+  // Bundle index of flow i in the last Allocate (-1: empty interior path, the
+  // flow was granted its member cap directly).
+  int32_t bundle_of_flow(size_t flow) const { return flow_bundle_[flow]; }
+  double bundle_rate(size_t bundle) const { return bundles_[bundle].rate; }
+
+ private:
+  struct Bundle {
+    uint32_t slice_off = 0;  // exemplar interior slice in slice_pool_
+    uint32_t slice_len = 0;
+    double cap_sum = 0.0;
+    double rate = 0.0;
+    int32_t members = 0;
+  };
+
+  IncrementalMaxMin bundle_alloc_;
+  std::vector<double> rates_;
+
+  std::vector<Bundle> bundles_;
+  std::vector<int32_t> flow_bundle_;  // per flow: bundle index or -1
+  std::vector<double> member_cap_;    // per flow: w_i
+  std::vector<int32_t> access_count_; // per access link: busy flows
+  std::vector<int32_t> slice_pool_;   // exemplar interior slices, bundle order
+  std::vector<int32_t> remap_scratch_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> bundle_index_;  // hash -> bundles
+  // Per-bundle member lists, grouped after bundling: (member cap, flow index)
+  // sorted ascending for the deterministic bounded split.
+  std::vector<uint32_t> bundle_off_;
+  std::vector<uint32_t> cursor_;
+  std::vector<std::pair<double, uint32_t>> bundle_members_;
+  int32_t max_interior_link_flows_ = 0;
+};
+
+}  // namespace bullet
+
+#endif  // SRC_SIM_SCALE_FLOW_AGGREGATION_H_

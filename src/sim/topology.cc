@@ -247,6 +247,9 @@ Topology::PathView RoutedTopology::InteriorPath(NodeId src, NodeId dst) const {
   if (r0 == r1) {
     return PathView{nullptr, 0};  // same stub router: access links only
   }
+  if (compress_segments_) {
+    return ComposedInteriorPath(r0, r1);
+  }
   const int64_t key = static_cast<int64_t>(r0) * num_routers_ + r1;
   auto it = path_cache_.find(key);
   if (it == path_cache_.end()) {
@@ -269,9 +272,119 @@ Topology::PathView RoutedTopology::InteriorPath(NodeId src, NodeId dst) const {
   return PathView{path_pool_.data() + it->second.first, it->second.second};
 }
 
+void RoutedTopology::EnableSegmentCompression() {
+  BULLET_CHECK(transit_stub_info() != nullptr &&
+               "segment compression requires a TransitStub-built topology");
+  BULLET_CHECK(!adj_built_ && "enable segment compression before the first route query");
+  compress_segments_ = true;
+  const size_t t = static_cast<size_t>(transit_stub_info_.num_transit_routers);
+  segment_off_.assign(t * t, kSegmentUnset);
+  segment_len_.assign(t * t, 0);
+}
+
+std::pair<uint32_t, uint32_t> RoutedTopology::TransitSegment(int32_t tr0, int32_t tr1) const {
+  if (tr0 == tr1) {
+    return {0, 0};  // both stubs hang off the same transit router
+  }
+  const size_t slot =
+      static_cast<size_t>(tr0) * static_cast<size_t>(transit_stub_info_.num_transit_routers) +
+      static_cast<size_t>(tr1);
+  if (segment_off_[slot] == kSegmentUnset) {
+    if (!routes_[static_cast<size_t>(tr0)].computed) {
+      ComputeRoutesFrom(tr0);
+    }
+    const SourceRoutes& routes = routes_[static_cast<size_t>(tr0)];
+    const uint32_t off = static_cast<uint32_t>(segment_pool_.size());
+    int32_t walk = tr1;
+    while (walk != tr0) {
+      const int32_t eid = routes.prev_edge[static_cast<size_t>(walk)];
+      BULLET_CHECK(eid >= 0 && "router graph does not connect the transit routers");
+      segment_pool_.push_back(eid);
+      walk = edges_[static_cast<size_t>(eid)].from;
+    }
+    std::reverse(segment_pool_.begin() + off, segment_pool_.end());
+    segment_off_[slot] = off;
+    segment_len_[slot] = static_cast<uint32_t>(segment_pool_.size()) - off;
+  }
+  return {segment_off_[slot], segment_len_[slot]};
+}
+
+Topology::PathView RoutedTopology::ComposedInteriorPath(int32_t r0, int32_t r1) const {
+  const TransitStubInfo& ts = transit_stub_info_;
+  const int d0 = ts.stub_domain_of_router(r0);
+  const int d1 = ts.stub_domain_of_router(r1);
+  BULLET_CHECK(d0 >= 0 && d1 >= 0 && "segment compression composes stub-attached nodes only");
+  compose_scratch_.clear();
+  const int32_t g0 = ts.gateway_router(d0);
+  const int32_t g1 = ts.gateway_router(d1);
+  if (d0 == d1) {
+    // Same stub star: the unique simple path runs member -> gateway -> member
+    // (the gateway's only other exit is its transit uplink, which cannot
+    // re-enter the star without revisiting the gateway).
+    if (r0 != g0) {
+      compose_scratch_.push_back(ts.member_uplink_edge[static_cast<size_t>(r0)] + 1);
+    }
+    if (r1 != g1) {
+      compose_scratch_.push_back(ts.member_uplink_edge[static_cast<size_t>(r1)]);
+    }
+  } else {
+    // Cross-stub: up the star (if not at the gateway), up the gateway's single
+    // transit uplink, across the shared transit segment, then mirror down.
+    if (r0 != g0) {
+      compose_scratch_.push_back(ts.member_uplink_edge[static_cast<size_t>(r0)] + 1);
+    }
+    compose_scratch_.push_back(ts.gateway_uplink_edge[static_cast<size_t>(d0)] + 1);
+    const auto [off, len] = TransitSegment(ts.transit_router(d0), ts.transit_router(d1));
+    compose_scratch_.insert(compose_scratch_.end(), segment_pool_.begin() + off,
+                            segment_pool_.begin() + off + len);
+    compose_scratch_.push_back(ts.gateway_uplink_edge[static_cast<size_t>(d1)]);
+    if (r1 != g1) {
+      compose_scratch_.push_back(ts.member_uplink_edge[static_cast<size_t>(r1)]);
+    }
+  }
+  return PathView{compose_scratch_.data(), static_cast<uint32_t>(compose_scratch_.size())};
+}
+
 void RoutedTopology::PrewarmRoutes() const {
   if (!adj_built_) {
     BuildAdjacency();
+  }
+  if (compress_segments_) {
+    // Only transit-router trees are needed (stub legs come straight from the
+    // recorded build edges); warm one tree per transit router serving an
+    // attached node's domain, then every segment between warmed routers so
+    // the segment cache is read-only afterwards.
+    const TransitStubInfo& ts = transit_stub_info_;
+    for (const int32_t router : attach_) {
+      if (router < 0) {
+        continue;
+      }
+      const int d = ts.stub_domain_of_router(router);
+      BULLET_CHECK(d >= 0 && "segment compression composes stub-attached nodes only");
+      const int32_t tr = ts.transit_router(d);
+      if (!routes_[static_cast<size_t>(tr)].computed) {
+        ComputeRoutesFrom(tr);
+      }
+    }
+    for (int32_t a = 0; a < ts.num_transit_routers; ++a) {
+      if (!routes_[static_cast<size_t>(a)].computed) {
+        continue;
+      }
+      for (int32_t b = 0; b < ts.num_transit_routers; ++b) {
+        if (a != b && routes_[static_cast<size_t>(b)].computed) {
+          TransitSegment(a, b);
+        }
+      }
+    }
+    // Size the compose scratch for the longest possible route (two stub legs,
+    // two gateway uplinks, widest segment) so post-prewarm queries never
+    // allocate and route_cache_bytes stays flat.
+    uint32_t max_segment = 0;
+    for (const uint32_t len : segment_len_) {
+      max_segment = std::max(max_segment, len);
+    }
+    compose_scratch_.reserve(static_cast<size_t>(max_segment) + 4);
+    return;
   }
   for (const int32_t router : attach_) {
     if (router >= 0 && !routes_[static_cast<size_t>(router)].computed) {
@@ -321,11 +434,22 @@ size_t RoutedTopology::MemoryFootprintBytes() const {
 }
 
 size_t RoutedTopology::route_cache_bytes() const {
+  // Per-pair map accounting is honest about container overhead: each hash node
+  // carries the key/value pair plus a next pointer and an allocation header,
+  // and the bucket array itself is resident memory. (The old formula counted
+  // only key+value payload, so cache growth was under-reported by roughly the
+  // bucket array plus one pointer-pair per routed pair.)
+  constexpr size_t kMapNodeBytes =
+      sizeof(std::pair<const int64_t, std::pair<uint32_t, uint32_t>>) + 2 * sizeof(void*);
   size_t bytes = adj_off_.capacity() * sizeof(uint32_t) + adj_edge_.capacity() * sizeof(int32_t) +
                  path_pool_.capacity() * sizeof(int32_t) +
                  routes_.capacity() * sizeof(SourceRoutes) +
-                 path_cache_.size() * (sizeof(int64_t) + sizeof(std::pair<uint32_t, uint32_t>) +
-                                       2 * sizeof(void*));
+                 path_cache_.size() * kMapNodeBytes +
+                 path_cache_.bucket_count() * sizeof(void*) +
+                 segment_off_.capacity() * sizeof(uint32_t) +
+                 segment_len_.capacity() * sizeof(uint32_t) +
+                 segment_pool_.capacity() * sizeof(int32_t) +
+                 compose_scratch_.capacity() * sizeof(int32_t);
   for (const SourceRoutes& r : routes_) {
     bytes += r.prev_edge.capacity() * sizeof(int32_t);
   }
@@ -385,6 +509,7 @@ RoutedTopology RoutedTopology::TransitStub(const TransitStubParams& p, Rng& rng)
   topo.transit_stub_info_.routers_per_stub = p.routers_per_stub;
   topo.transit_stub_info_.stub_domains_per_transit_router = p.stub_domains_per_transit_router;
   topo.transit_stub_info_.gateway_uplink_edge.reserve(static_cast<size_t>(num_stub_domains));
+  topo.transit_stub_info_.member_uplink_edge.assign(static_cast<size_t>(num_routers), -1);
   std::vector<int32_t> stub_routers;
   stub_routers.reserve(static_cast<size_t>(num_stub_domains) *
                        static_cast<size_t>(p.routers_per_stub));
@@ -397,7 +522,8 @@ RoutedTopology RoutedTopology::TransitStub(const TransitStubParams& p, Rng& rng)
           tr, gateway, LinkParams{p.transit_stub_bps, p.transit_stub_delay, 0.0}));
       stub_routers.push_back(gateway);
       for (int m = 1; m < p.routers_per_stub; ++m) {
-        topo.AddDuplexEdge(gateway, gateway + m, LinkParams{p.stub_bps, p.stub_delay, 0.0});
+        topo.transit_stub_info_.member_uplink_edge[static_cast<size_t>(gateway + m)] =
+            topo.AddDuplexEdge(gateway, gateway + m, LinkParams{p.stub_bps, p.stub_delay, 0.0});
         stub_routers.push_back(gateway + m);
       }
     }

@@ -288,6 +288,11 @@ class RoutedTopology final : public Topology {
     // Per stub domain: the interior link id of the transit->gateway direction
     // of its shared gateway uplink (the reverse direction is the next id).
     std::vector<int32_t> gateway_uplink_edge;
+    // Per router: the interior link id of the gateway->member direction of its
+    // intra-stub star link (member->gateway is the next id); -1 for transit
+    // routers and stub gateways, which have no star link of their own. Recorded
+    // so segment-compressed routing can compose stub legs without Dijkstra.
+    std::vector<int32_t> member_uplink_edge;
 
     // The stub domain owning `router`; -1 for transit routers.
     int stub_domain_of_router(int32_t router) const {
@@ -307,6 +312,22 @@ class RoutedTopology final : public Topology {
     return transit_stub_info_.num_stub_domains > 0 ? &transit_stub_info_ : nullptr;
   }
 
+  // --- Segment-compressed routing (mega-swarm mode) ---
+  // Opt-in for TransitStub-built topologies: per-pair routes are composed
+  // lazily as (src stub leg, cached transit->transit segment, dst stub leg)
+  // instead of materializing one pooled edge list per router pair, so route
+  // memory is O(T^2 segments + routers), not O(pairs x path length). Composed
+  // views are backed by scratch (valid until the next InteriorPath call, per
+  // the PathView contract) and are bitwise-equal to the uncompressed edge
+  // lists: a stub star leaves through its gateway's single transit uplink, so
+  // the Dijkstra tree beyond the transit router is shift-invariant in the
+  // source (same (dist, router) heap order, same strict-improvement
+  // relaxations), making the composed list exactly the tree walk the
+  // uncompressed path cache would have stored (route_composition_test pins
+  // this). Must be enabled before the first route query.
+  void EnableSegmentCompression();
+  bool segment_compression_enabled() const { return compress_segments_; }
+
   // Thread-safety: route state (adjacency CSR, per-source shortest-path trees,
   // per-pair path cache) fills lazily under const queries, so concurrent
   // InteriorPath/PathDelay calls from multiple threads race. The parallel
@@ -315,7 +336,10 @@ class RoutedTopology final : public Topology {
   // threads never query the topology (network.h documents the matching engine
   // contract). PrewarmRoutes computes the shortest-path tree from every router
   // an overlay node attaches to, plus the adjacency CSR, so the only state
-  // still mutating afterwards is the per-pair path cache.
+  // still mutating afterwards is the per-pair path cache. Under segment
+  // compression it instead warms the (far fewer) transit-router trees and all
+  // transit segments between them; the compose scratch still mutates per
+  // query, coordinator-only like the path cache.
   void PrewarmRoutes() const;
 
   // Multi-source delay-weighted Dijkstra over the router graph: distance from
@@ -336,6 +360,12 @@ class RoutedTopology final : public Topology {
   // Dijkstra (delay-weighted, deterministic (dist, router) tie-break) from
   // `src_router`, filling routes_[src_router].
   void ComputeRoutesFrom(int32_t src_router) const;
+  // Compressed-mode route assembly: stub legs from the recorded build edges,
+  // interior from the cached transit segment. Returns a scratch-backed view.
+  PathView ComposedInteriorPath(int32_t r0, int32_t r1) const;
+  // (offset, length) into segment_pool_ of the tr0->tr1 transit segment,
+  // computing and caching it on first use.
+  std::pair<uint32_t, uint32_t> TransitSegment(int32_t tr0, int32_t tr1) const;
 
   int num_routers_;
   std::vector<int32_t> attach_;  // per overlay node; -1 until AttachNode
@@ -354,6 +384,16 @@ class RoutedTopology final : public Topology {
   mutable std::vector<SourceRoutes> routes_;
   mutable std::unordered_map<int64_t, std::pair<uint32_t, uint32_t>> path_cache_;
   mutable std::vector<int32_t> path_pool_;
+
+  // Segment-compression state: dense T x T transit-segment cache (offset into
+  // segment_pool_; kSegmentUnset until computed) plus the scratch buffer that
+  // backs composed PathViews.
+  static constexpr uint32_t kSegmentUnset = 0xffffffffu;
+  bool compress_segments_ = false;
+  mutable std::vector<uint32_t> segment_off_;
+  mutable std::vector<uint32_t> segment_len_;
+  mutable std::vector<int32_t> segment_pool_;
+  mutable std::vector<int32_t> compose_scratch_;
 };
 
 }  // namespace bullet

@@ -209,6 +209,68 @@ TEST(BenchCheckFloorsTest, MissingPointOrFloorIsRegression) {
   EXPECT_NE(log.find("missing from current floors"), std::string::npos);
 }
 
+// A two-point bullet-ceilings-v1 document with the gated memory byte counters.
+std::string CeilingsDoc(double p0_arena, double p1_arena, double route = 5e5,
+                        const char* schema = "bullet-ceilings-v1") {
+  std::ostringstream os;
+  os << R"({"schema":")" << schema
+     << R"(","sweep":"megaswarm","scenario":"fig24_megaswarm","base_seed":2401,"repeats":1,)"
+     << R"("points":[)"
+     << R"({"point_index":0,"params":{"nodes":2000},)"
+     << R"("ceilings":{"arena_peak_bytes":)" << p0_arena << R"(,"route_cache_bytes":)"
+     << route << R"(}},)"
+     << R"({"point_index":1,"params":{"nodes":5000},)"
+     << R"("ceilings":{"arena_peak_bytes":)" << p1_arena << R"(,"route_cache_bytes":)"
+     << route << R"(}}]})";
+  return os.str();
+}
+
+TEST(BenchCheckCeilingsTest, OneSidedGateInverted) {
+  BenchCheckOptions opts;
+  // Meeting or undercutting every ceiling passes; using less memory is never a
+  // failure (the floors gate, mirrored).
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), CeilingsDoc(1e6, 2e6), opts), kBenchCheckOk);
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), CeilingsDoc(5e5, 1e6), opts), kBenchCheckOk);
+  // One point above its arena ceiling fails, and the log names it.
+  std::string log;
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), CeilingsDoc(1.5e6, 2e6), opts, &log),
+            kBenchCheckRegression);
+  EXPECT_NE(log.find("FAIL point {nodes=2000} arena_peak_bytes"), std::string::npos);
+  EXPECT_NE(log.find("above ceiling"), std::string::npos);
+}
+
+TEST(BenchCheckCeilingsTest, TolerancesDoNotApply) {
+  BenchCheckOptions opts;
+  opts.rel_tol = 10.0;  // irrelevant: the memory gate is strict
+  // Even a 0.01% breach fails; there is no tolerance band on memory.
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), CeilingsDoc(1.0001e6, 2e6), opts),
+            kBenchCheckRegression);
+}
+
+TEST(BenchCheckCeilingsTest, MixedSchemasAreBadInput) {
+  BenchCheckOptions opts;
+  // Ceilings baselines demand ceilings currents — no silent cross-gating with
+  // band aggregates or floors docs.
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), Doc(10, 20), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(Doc(10, 20), CeilingsDoc(1e6, 2e6), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), FloorsDoc(1000, 2000), opts), kBenchCheckBadInput);
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), CeilingsDoc(1e6, 2e6, 5e5, "bullet-ceilings-v0"),
+                    opts),
+            kBenchCheckBadInput);
+}
+
+TEST(BenchCheckCeilingsTest, MissingPointOrMetricIsRegression) {
+  BenchCheckOptions opts;
+  const std::string current =
+      R"({"schema":"bullet-ceilings-v1","scenario":"fig24_megaswarm","points":[)"
+      R"({"point_index":0,"params":{"nodes":2000},)"
+      R"("ceilings":{"arena_peak_bytes":1000}}]})";
+  std::string log;
+  // Point {nodes=5000} is absent and {nodes=2000} lacks route_cache_bytes.
+  EXPECT_EQ(Compare(CeilingsDoc(1e6, 2e6), current, opts, &log), kBenchCheckRegression);
+  EXPECT_NE(log.find("missing from current ceilings"), std::string::npos);
+}
+
 TEST(BenchCheckTest, PointMatchingIgnoresAxisDeclarationOrder) {
   BenchCheckOptions opts;
   const auto doc = [](const char* params) {
